@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark reproduces one of the paper's evaluation figures (or one of the
+correctness/availability ablations) by running the corresponding
+:mod:`repro.harness.figures` function once inside ``pytest-benchmark``'s timer
+and printing the same series the paper plots.  The simulated deployments are
+slightly smaller than the paper's 30-peer testbed so the whole suite finishes
+in a few minutes; pass ``--paper-scale`` to run at the paper's size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the figure reproductions at the paper's deployment size (slower)",
+    )
+
+
+@pytest.fixture(scope="session")
+def figure_scale(request):
+    """Deployment sizes used by the figure benchmarks."""
+    if request.config.getoption("--paper-scale"):
+        return {"peers": 30, "items": 180, "queries_per_target": 5}
+    return {"peers": 14, "items": 90, "queries_per_target": 3}
+
+
+def run_figure(benchmark, figure_function, **kwargs):
+    """Execute a figure function exactly once under the benchmark timer."""
+    result = benchmark.pedantic(lambda: figure_function(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result.as_table())
+    if result.notes:
+        print(f"note: {result.notes}")
+    return result

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so that
+fully offline environments (no access to the ``wheel`` package required by
+PEP 517 editable installs) can still do a development install with
+``python setup.py develop`` or ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro: reproduction of "Guaranteeing Correctness and Availability in P2P Range Indices".
+
+The package implements, on a deterministic discrete-event simulator, the full
+P2P indexing framework the paper builds on (fault-tolerant ring, data store,
+replication manager, content router, P2P index) together with the paper's
+contributions: the PEPPER consistent ``insertSucc``, the ``scanRange`` query
+primitive, the availability-preserving ``leave`` and the
+replicate-to-additional-hop protocol -- plus the naive baselines the paper
+compares against and history-based checkers for its correctness definitions.
+
+Quickstart::
+
+    from repro import PRingIndex, default_config
+
+    index = PRingIndex(default_config(seed=7))
+    index.bootstrap()
+    for _ in range(5):
+        index.add_peer()
+    for key in range(100, 200, 10):
+        index.insert_item_now(float(key))
+    index.run(30.0)                       # let splits / stabilization settle
+    result = index.range_query_now(100.0, 200.0)
+    print(result["keys"])
+"""
+
+from repro.core import (
+    CheckResult,
+    History,
+    HistoryRecorder,
+    Operation,
+    check_consistent_successor_pointers,
+    check_item_availability,
+    check_query_result,
+    check_ring_connectivity,
+    check_scan_range_correctness,
+)
+from repro.core.correctness import ItemTimeline, QueryRecord, count_lost_items
+from repro.datastore import CircularRange, Item, ItemStore
+from repro.harness.metrics import Metrics
+from repro.index import IndexConfig, IndexPeer, PRingIndex
+from repro.index.config import default_config
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckResult",
+    "CircularRange",
+    "History",
+    "HistoryRecorder",
+    "IndexConfig",
+    "IndexPeer",
+    "Item",
+    "ItemStore",
+    "ItemTimeline",
+    "Metrics",
+    "Operation",
+    "PRingIndex",
+    "QueryRecord",
+    "check_consistent_successor_pointers",
+    "check_item_availability",
+    "check_query_result",
+    "check_ring_connectivity",
+    "check_scan_range_correctness",
+    "count_lost_items",
+    "default_config",
+    "__version__",
+]

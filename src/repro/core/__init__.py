@@ -1,0 +1,35 @@
+"""The paper's primary contribution: correctness and availability protocols.
+
+* :class:`~repro.core.pepper_ring.PepperRing` -- consistent ``insertSucc``
+  (Algorithms 1-2) and availability-preserving ``leave`` (Section 5.1).
+* :mod:`repro.core.scan_range` -- the ``scanRange`` Data Store primitive
+  (Algorithms 3-5) and the range-query handler built on it (Algorithms 6-7),
+  plus the naive application-level scan baseline.
+* :mod:`repro.core.histories` -- histories of operations (Definitions 1-2).
+* :mod:`repro.core.correctness` -- checkers for the paper's correctness and
+  availability definitions (Definitions 3-7).
+"""
+
+from repro.core.histories import History, HistoryRecorder, Operation
+from repro.core.pepper_ring import PepperRing
+from repro.core.correctness import (
+    CheckResult,
+    check_consistent_successor_pointers,
+    check_item_availability,
+    check_query_result,
+    check_ring_connectivity,
+    check_scan_range_correctness,
+)
+
+__all__ = [
+    "CheckResult",
+    "History",
+    "HistoryRecorder",
+    "Operation",
+    "PepperRing",
+    "check_consistent_successor_pointers",
+    "check_item_availability",
+    "check_query_result",
+    "check_ring_connectivity",
+    "check_scan_range_correctness",
+]

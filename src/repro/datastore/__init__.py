@@ -1,0 +1,8 @@
+"""P-Ring Data Store: order-preserving item placement with storage balancing."""
+
+from repro.datastore.items import Item, ItemStore
+from repro.datastore.ranges import CircularRange
+from repro.datastore.store import DataStore
+from repro.datastore.maintenance import StorageBalancer
+
+__all__ = ["CircularRange", "DataStore", "Item", "ItemStore", "StorageBalancer"]

@@ -1,0 +1,513 @@
+"""Storage balancing: split, merge and redistribute (Section 2.3).
+
+The P-Ring Data Store keeps every live peer's item count between ``sf`` and
+``2*sf``.  The :class:`StorageBalancer` component implements the three
+maintenance operations:
+
+* **Split** -- an overflowing peer acquires a free peer from the
+  :class:`FreePeerPool`, hands it the lower half of its range and items, and
+  the free peer joins the ring as the successor of the splitting peer's
+  predecessor (using whichever ``insertSucc`` protocol the configuration
+  selects).
+* **Redistribute** -- an underflowing peer asks its successor for items; the
+  successor gives up its lowest items and the boundary (the underflowing
+  peer's ring value) moves up.
+* **Merge** -- if the successor cannot spare items, the underflowing peer
+  transfers everything it has to the successor, replicates the items it holds
+  one additional hop (Section 5.2, when enabled), performs the ring ``leave``
+  (availability-preserving or naive, per configuration), and returns itself to
+  the free-peer pool.
+
+The merge path is exactly what Figure 22 measures and what the availability
+ablations stress.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.datastore.items import Item, items_from_wire, items_to_wire
+from repro.datastore.ranges import CircularRange
+from repro.datastore.store import DataStore
+from repro.index.config import IndexConfig
+from repro.ring.chord import ChordRing
+from repro.sim.network import RpcError
+from repro.sim.node import Node
+
+
+class FreePeerPool(Node):
+    """A directory of free peers (P-Ring keeps spare peers outside the ring).
+
+    Modelled as an addressable service so that acquiring/releasing free peers
+    remains message-based like everything else in the system.
+    """
+
+    def __init__(self, sim, network, address: str = "pool"):
+        super().__init__(sim, network, address)
+        self._free: List[str] = []
+
+    def add(self, address: str) -> None:
+        """Register a free peer (done by the cluster facade on peer arrival)."""
+        if address not in self._free:
+            self._free.append(address)
+
+    def available(self) -> int:
+        """Number of free peers currently available."""
+        return len(self._free)
+
+    def rpc_pool_acquire(self, payload, request):
+        """RPC: hand out one free peer (or none)."""
+        if not self._free:
+            return {"address": None}
+        return {"address": self._free.pop(0)}
+
+    def rpc_pool_release(self, payload, request):
+        """RPC: a peer merged away and is free again."""
+        self.add(payload["address"])
+        return {"ok": True}
+
+
+class StorageBalancer:
+    """Split / merge / redistribute orchestration for one peer."""
+
+    def __init__(
+        self,
+        node: Node,
+        ring: ChordRing,
+        store: DataStore,
+        replication,
+        config: IndexConfig,
+        pool_address: Optional[str],
+        metrics=None,
+        history=None,
+    ):
+        self.node = node
+        self.ring = ring
+        self.store = store
+        self.replication = replication
+        self.config = config
+        self.pool_address = pool_address
+        self.metrics = metrics
+        self.history = history
+
+        self._balancing = False
+        self._pending_split: Optional[Dict] = None
+
+        store.on_overflow = self.schedule_split
+        store.on_underflow = self.schedule_merge
+
+        node.register_handler("ds_activate", self._handle_activate)
+        node.register_handler("ds_split_complete", self._handle_split_complete)
+        node.register_handler("ds_redistribute_request", self._handle_redistribute_request)
+        node.register_handler("ds_absorb_items", self._handle_absorb_items)
+
+        # Periodic safety net: re-check thresholds in case a triggered attempt
+        # aborted (no free peers, busy successor, transient failures).
+        node.every(
+            max(config.stabilization_period, 2.0),
+            self._periodic_check,
+            jitter=config.stabilization_jitter,
+            name="ds-balance-check",
+        )
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def address(self) -> str:
+        return self.node.address
+
+    def _record_op(self, kind: str, **attrs) -> None:
+        if self.history is not None:
+            self.history.record(kind, peer=self.address, **attrs)
+
+    def _record_metric(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.record(name, value)
+
+    # ------------------------------------------------------------------ triggers
+    def schedule_split(self) -> None:
+        """Request a split attempt (called on overflow)."""
+        if not self._balancing:
+            self.node.spawn(self.maybe_split(), name="ds-split")
+
+    def schedule_merge(self) -> None:
+        """Request a merge/redistribute attempt (called on underflow)."""
+        if not self._balancing:
+            self.node.spawn(self.maybe_merge(), name="ds-merge")
+
+    def _periodic_check(self) -> None:
+        if self._balancing or not self.store.active:
+            return
+        count = self.store.item_count()
+        if count > self.config.overflow_threshold:
+            self.schedule_split()
+        elif count < self.config.underflow_threshold:
+            self.schedule_merge()
+
+    # ------------------------------------------------------------------ split
+    def maybe_split(self):
+        """Split the local range with a free peer if still overflowing."""
+        if self._balancing or self._pending_split is not None:
+            return
+        if self.pool_address is None:
+            return
+        self._balancing = True
+        try:
+            yield self.store.range_lock.acquire_write()
+            try:
+                if (
+                    not self.store.active
+                    or self.store.range is None
+                    or self.store.item_count() <= self.config.overflow_threshold
+                    or self.store.item_count() < 2
+                ):
+                    return
+                # Order items by their clockwise distance from the range's lower
+                # bound (for a full range -- the single-peer bootstrap case --
+                # the peer's own value plays that role) and split at the median.
+                base = (
+                    self.ring.value if self.store.range.full else self.store.range.low
+                )
+                ordered = sorted(
+                    self.store.items.all_items(),
+                    key=lambda item: self._clockwise_distance(item.skv, base),
+                )
+                middle = (len(ordered) - 1) // 2
+                split_key = ordered[middle].skv
+                lower_items = ordered[: middle + 1]
+                if split_key == self.ring.value:
+                    return  # degenerate: the split would take the whole range
+                range_low = base
+                pred_address = self.ring.pred_address or self.address
+            finally:
+                self.store.range_lock.release_write()
+
+            try:
+                response = yield self.node.call(self.pool_address, "pool_acquire", {})
+            except RpcError:
+                return
+            free_address = response.get("address")
+            if free_address is None:
+                self._record_op("split_deferred", reason="no_free_peer")
+                return
+
+            completion = self.node.sim.event()
+            self._pending_split = {
+                "new_peer": free_address,
+                "split_key": split_key,
+                "range_low": range_low,
+                "transferred": {item.skv for item in lower_items},
+                "deleted_during": set(),
+                "event": completion,
+            }
+            self._record_op(
+                "split_started", new_peer=free_address, split_key=split_key
+            )
+            try:
+                yield self.node.call(
+                    free_address,
+                    "ds_activate",
+                    {
+                        "value": split_key,
+                        "range": (range_low, split_key, False),
+                        "items": items_to_wire(lower_items),
+                        "join_via": pred_address,
+                        "notify": self.address,
+                    },
+                )
+            except RpcError:
+                # The free peer is unreachable; forget the split attempt.
+                self._pending_split = None
+                return
+
+            # Wait for the new peer to report that it joined the ring.
+            deadline = self.node.sim.timeout(self.config.leave_ack_timeout + 30.0)
+            yield self.node.sim.any_of([completion, deadline])
+            if not completion.triggered:
+                self._record_op("split_timed_out", new_peer=free_address)
+                self._pending_split = None
+                return
+            yield from self._finish_split()
+        finally:
+            self._balancing = False
+
+    def _handle_activate(self, payload, request):
+        """RPC (at the free peer): take over a range and join the ring."""
+        if self.store.active:
+            return {"accepted": False, "reason": "already_active"}
+        crange = CircularRange.from_tuple(tuple(payload["range"]))
+        items = items_from_wire(payload["items"])
+        value = payload["value"]
+        self.ring.update_value(value)
+        self.store.activate(crange, items)
+        self.node.spawn(
+            self._activation_join(payload["join_via"], payload["notify"]),
+            name="ds-activate-join",
+        )
+        return {"accepted": True}
+
+    def _activation_join(self, join_via: str, notify: str):
+        """Join the ring (via the configured insertSucc) and notify the splitter."""
+        try:
+            yield from self.ring.join(join_via)
+        except Exception:
+            # Could not join (e.g. the contact peer merged away mid-split):
+            # drop the transferred copies -- the splitter only sheds its own
+            # copies after our confirmation, so nothing is lost -- and return
+            # to the free-peer pool for a later attempt.
+            self.store.deactivate()
+            if self.pool_address is not None:
+                try:
+                    yield self.node.call(
+                        self.pool_address, "pool_release", {"address": self.address}
+                    )
+                except RpcError:
+                    pass
+            return
+        if self.replication is not None:
+            self.replication.refresh_now()
+        try:
+            yield self.node.call(
+                notify,
+                "ds_split_complete",
+                {"new_peer": self.address, "split_key": self.ring.value},
+            )
+        except RpcError:
+            pass
+
+    def _handle_split_complete(self, payload, request):
+        """RPC (at the splitter): the new peer is in the ring; shed the lower half."""
+        pending = self._pending_split
+        if pending is None or pending["new_peer"] != payload.get("new_peer"):
+            return {"ok": False}
+        if not pending["event"].triggered:
+            pending["event"].succeed(payload)
+        return {"ok": True}
+
+    def _finish_split(self):
+        """Phase 3 of the split: drop the transferred items and shrink the range."""
+        pending = self._pending_split
+        if pending is None:
+            return
+        split_key = pending["split_key"]
+        new_peer = pending["new_peer"]
+        lower_range = CircularRange(pending["range_low"], split_key)
+        yield self.store.range_lock.acquire_write()
+        try:
+            if self.store.range is None:
+                return
+            # Items that arrived in the lower half while the new peer was
+            # joining must be forwarded, not dropped.
+            lower_now = [
+                item
+                for item in self.store.items.all_items()
+                if lower_range.contains(item.skv)
+            ]
+            late_arrivals = [
+                item for item in lower_now if item.skv not in pending["transferred"]
+            ]
+            for item in lower_now:
+                self.store.remove_local(item.skv, reason="split_shed")
+            self.store.set_range_low(split_key, reason="split")
+        finally:
+            self.store.range_lock.release_write()
+
+        for item in late_arrivals:
+            try:
+                yield self.node.call(
+                    new_peer, "ds_store_item", {"item": item.to_wire(), "reason": "split_late"}
+                )
+            except RpcError:
+                pass
+        for skv in pending["deleted_during"]:
+            try:
+                yield self.node.call(new_peer, "ds_remove_item", {"skv": skv})
+            except RpcError:
+                pass
+        self._record_op("split_finished", new_peer=new_peer, split_key=split_key)
+        self._pending_split = None
+
+    def note_local_delete(self, skv: float) -> None:
+        """Track deletions racing with an in-flight split (forwarded afterwards)."""
+        pending = self._pending_split
+        if pending is not None and skv in pending["transferred"]:
+            pending["deleted_during"].add(skv)
+
+    # ------------------------------------------------------------------ merge / redistribute
+    def maybe_merge(self):
+        """Handle an underflow by redistributing with, or merging into, the successor.
+
+        The boundary-moving and item-moving steps run under the participating
+        peers' range write locks so in-flight scans never observe a torn range,
+        but neither peer holds its own lock across the cross-peer RPC (the
+        locks are local, per-peer, exactly as in the paper's Algorithms).
+        """
+        if self._balancing or self._pending_split is not None:
+            return
+        self._balancing = True
+        started = self.node.sim.now
+        try:
+            successor = self.ring.first_live_successor()
+            if successor is None or not self.store.active:
+                return
+            if self.store.item_count() >= self.config.underflow_threshold:
+                return
+            need = self.config.storage_factor - self.store.item_count()
+            try:
+                response = yield self.node.call(
+                    successor,
+                    "ds_redistribute_request",
+                    {"need": need, "requester": self.address},
+                    timeout=10.0,
+                )
+            except RpcError:
+                return
+            action = response.get("action")
+            if action == "redistribute":
+                received = items_from_wire(response["items"])
+                boundary = response["new_boundary"]
+                yield self.store.range_lock.acquire_write()
+                try:
+                    for item in received:
+                        self.store.store_local(item, reason="redistribute_in")
+                    self.store.set_range_high(boundary, reason="redistribute")
+                    self.ring.update_value(boundary)
+                finally:
+                    self.store.range_lock.release_write()
+                self._record_op(
+                    "redistribute", from_peer=successor, received=len(received)
+                )
+                self._record_metric("redistribute", self.node.sim.now - started)
+                return
+            if action != "merge":
+                return  # successor busy; retry on the next periodic check
+
+            # --- Merge: give everything to the successor and leave. ----------
+            yield self.store.range_lock.acquire_write()
+            try:
+                if not self.store.active or self.store.range is None:
+                    return
+                outgoing = self.store.items.all_items()
+                new_low = (
+                    self.store.range.low
+                    if not self.store.range.full
+                    else self.ring.value
+                )
+                try:
+                    yield self.node.call(
+                        successor,
+                        "ds_absorb_items",
+                        {
+                            "items": items_to_wire(outgoing),
+                            "new_low": new_low,
+                            "from_peer": self.address,
+                        },
+                        timeout=10.0,
+                    )
+                except RpcError:
+                    return
+                for item in outgoing:
+                    self.store.remove_local(item.skv, reason="merge_transfer")
+                self.store.deactivate()
+            finally:
+                self.store.range_lock.release_write()
+            self._record_op("merge_transfer", to_peer=successor, count=len(outgoing))
+
+            # Section 5.2: push every item we hold (notably our replicas) one
+            # additional hop so the replica count is not reduced by our leave.
+            if self.replication is not None and self.config.extra_hop_replication:
+                yield from self.replication.push_extra_hop()
+
+            # Leave the ring (availability-preserving or naive, per config).
+            leave_duration = yield from self.ring.leave()
+            if self.replication is not None:
+                self.replication.clear()
+
+            merge_duration = self.node.sim.now - started
+            self._record_metric("merge", merge_duration)
+            self._record_op(
+                "merge_finished",
+                to_peer=successor,
+                duration=merge_duration,
+                leave_duration=leave_duration,
+            )
+            if self.pool_address is not None:
+                try:
+                    yield self.node.call(
+                        self.pool_address, "pool_release", {"address": self.address}
+                    )
+                except RpcError:
+                    pass
+        finally:
+            self._balancing = False
+
+    def _handle_redistribute_request(self, payload, request):
+        """RPC (at the successor): either spare some items or invite a merge."""
+        if self._balancing or not self.store.active or self.store.range is None:
+            return {"action": "busy"}
+        yield self.store.range_lock.acquire_write()
+        try:
+            if not self.store.active or self.store.range is None:
+                return {"action": "busy"}
+            need = int(payload.get("need", 1))
+            spare = self.store.item_count() - self.config.storage_factor
+            if spare < need or spare <= 0:
+                return {"action": "merge"}
+            give = min(spare, max(need, 1))
+            victims = [
+                item
+                for item in self.store.items.all_items()
+                if self.store.range.contains(item.skv)
+            ]
+            victims = sorted(
+                victims, key=lambda item: self._distance_from_low(item.skv)
+            )[:give]
+            if not victims:
+                return {"action": "merge"}
+            boundary = max(
+                victims, key=lambda item: self._distance_from_low(item.skv)
+            ).skv
+            for item in victims:
+                self.store.remove_local(item.skv, reason="redistribute_out")
+            self.store.set_range_low(boundary, reason="redistribute")
+            self._record_op(
+                "redistribute_out", to_peer=payload.get("requester"), given=len(victims)
+            )
+            return {
+                "action": "redistribute",
+                "items": items_to_wire(victims),
+                "new_boundary": boundary,
+            }
+        finally:
+            self.store.range_lock.release_write()
+
+    def _distance_from_low(self, key: float) -> float:
+        """Clockwise distance of ``key`` from this peer's range lower bound."""
+        low = self.store.range.low if self.store.range is not None else 0.0
+        return self._clockwise_distance(key, low)
+
+    def _clockwise_distance(self, key: float, base: float) -> float:
+        """Clockwise distance of ``key`` from ``base`` on the circular key space."""
+        if key > base:
+            return key - base
+        return self.config.key_space - base + key
+
+    def _handle_absorb_items(self, payload, request):
+        """RPC (at the successor): take over a merging predecessor's items and range."""
+        items = items_from_wire(payload["items"])
+        new_low = payload["new_low"]
+        yield self.store.range_lock.acquire_write()
+        try:
+            for item in items:
+                self.store.store_local(item, reason="merge_absorb")
+            if (
+                self.store.active
+                and self.store.range is not None
+                and not self.store.range.full
+            ):
+                self.store.set_range_low(new_low, reason="merge_absorb")
+        finally:
+            self.store.range_lock.release_write()
+        self._record_op(
+            "merge_absorb", from_peer=payload.get("from_peer"), count=len(items)
+        )
+        return {"ok": True}

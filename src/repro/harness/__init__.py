@@ -1,0 +1,26 @@
+"""Experiment harness: metrics, cluster builders, and per-figure reproductions.
+
+Lazily exposes the heavier experiment modules so that library users who only
+need :class:`~repro.harness.metrics.Metrics` do not pay for them.
+"""
+
+from typing import TYPE_CHECKING
+
+from repro.harness.metrics import Metrics
+
+__all__ = ["ClusterExperiment", "ExperimentSettings", "Metrics", "figures"]
+
+if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from repro.harness.experiment import ClusterExperiment, ExperimentSettings
+
+
+def __getattr__(name):
+    if name in ("ClusterExperiment", "ExperimentSettings"):
+        from repro.harness import experiment
+
+        return getattr(experiment, name)
+    if name == "figures":
+        from repro.harness import figures
+
+        return figures
+    raise AttributeError(f"module 'repro.harness' has no attribute {name!r}")

@@ -1,0 +1,210 @@
+"""Shared experiment driver.
+
+Every figure in the paper's evaluation uses the same basic deployment
+(Section 6.1): 30 peers arriving one every 3 seconds, items inserted at 2 per
+second, storage factor 5, replication factor 6, and either a fail-free phase or
+a phase with peer failures at a controlled rate.  :class:`ClusterExperiment`
+builds such a deployment for an arbitrary :class:`~repro.index.config.IndexConfig`
+and exposes the measurement hooks the per-figure functions in
+:mod:`repro.harness.figures` use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.correctness import QueryRecord
+from repro.index.config import IndexConfig
+from repro.index.pring import PRingIndex
+from repro.workloads.churn import FAIL, JOIN, ChurnSchedule, failure_schedule, join_schedule
+from repro.workloads.items import ItemWorkload, uniform_keys
+
+
+@dataclass
+class ExperimentSettings:
+    """Deployment parameters shared by the paper's experiments (Section 6.1)."""
+
+    peers: int = 30
+    items: int = 180
+    peer_join_period: float = 3.0
+    item_insert_rate: float = 2.0
+    settle_time: float = 30.0
+    failure_rate_per_100s: float = 0.0
+    failure_window: float = 100.0
+    seed: int = 0
+
+    def scaled(self, factor: float) -> "ExperimentSettings":
+        """A proportionally smaller/larger deployment (used to keep benches fast)."""
+        return ExperimentSettings(
+            peers=max(3, int(self.peers * factor)),
+            items=max(20, int(self.items * factor)),
+            peer_join_period=self.peer_join_period,
+            item_insert_rate=self.item_insert_rate,
+            settle_time=self.settle_time,
+            failure_rate_per_100s=self.failure_rate_per_100s,
+            failure_window=self.failure_window,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class QueryOutcome:
+    """One executed range query plus the information needed to check/plot it."""
+
+    lb: float
+    ub: float
+    hops: int
+    elapsed: float
+    scan_elapsed: float
+    complete: bool
+    keys: List[float] = field(default_factory=list)
+    record: Optional[QueryRecord] = None
+    strategy: str = "scan"
+
+
+class ClusterExperiment:
+    """Builds and drives one simulated deployment."""
+
+    def __init__(self, config: IndexConfig, settings: Optional[ExperimentSettings] = None):
+        self.config = config
+        self.settings = settings or ExperimentSettings(seed=config.seed)
+        self.index = PRingIndex(config)
+        self.inserted_keys: List[float] = []
+        self.deleted_keys: List[float] = []
+
+    # ------------------------------------------------------------------ building
+    def build(self, extra_settle: Optional[float] = None) -> PRingIndex:
+        """Bootstrap the deployment: staggered peer arrivals and item inserts."""
+        settings = self.settings
+        index = self.index
+        index.bootstrap()
+
+        rng = index.rngs.stream("workload")
+        keys = uniform_keys(settings.items, self.config.key_space, rng)
+        self.inserted_keys = keys
+        workload = ItemWorkload(keys, insert_rate=settings.item_insert_rate, start_time=1.0)
+        joins = join_schedule(settings.peers - 1, period=settings.peer_join_period, start=0.5)
+
+        index.sim.process(self._membership_driver(joins), name="driver:joins")
+        index.sim.process(self._item_driver(workload), name="driver:items")
+
+        duration = max(joins.duration, workload.duration + 1.0)
+        settle = settings.settle_time if extra_settle is None else extra_settle
+        index.run(duration + settle)
+        return index
+
+    def _membership_driver(self, schedule: ChurnSchedule):
+        rng = self.index.rngs.stream("churn")
+        for event in schedule:
+            delay = event.time - self.index.sim.now
+            if delay > 0:
+                yield self.index.sim.timeout(delay)
+            if event.kind == JOIN:
+                self.index.add_peer()
+            elif event.kind == FAIL:
+                members = self.index.ring_members()
+                if len(members) > 2:
+                    victim = rng.choice(members)
+                    self.index.fail_peer(victim.address)
+
+    def _item_driver(self, workload: ItemWorkload):
+        for time, key, payload in workload.insert_events():
+            delay = time - self.index.sim.now
+            if delay > 0:
+                yield self.index.sim.timeout(delay)
+            # Fire and forget so the insert rate stays steady regardless of
+            # routing latency (the facade records the outcome in the history).
+            self.index.sim.process(self.index.insert_item(key, payload))
+
+    # ------------------------------------------------------------------ phases
+    def settle(self, duration: float) -> None:
+        """Let the system run with no external activity."""
+        self.index.run(duration)
+
+    def inject_failures(self, rate_per_100s: float, duration: float) -> int:
+        """Run a failure phase: kill random ring members at the given rate."""
+        rng = self.index.rngs.stream("failures")
+        schedule = failure_schedule(rate_per_100s, duration, rng, start=self.index.sim.now)
+        self.index.sim.process(self._membership_driver(schedule), name="driver:failures")
+        self.index.run(duration)
+        return len(schedule)
+
+    def grow(self, peers: int, period: Optional[float] = None) -> None:
+        """Add more peers at the configured arrival rate and wait for them."""
+        period = period or self.settings.peer_join_period
+        schedule = join_schedule(peers, period=period, start=self.index.sim.now + 0.1)
+        self.index.sim.process(self._membership_driver(schedule), name="driver:grow")
+        self.index.run(peers * period + self.settings.settle_time)
+
+    def insert_items(self, keys: List[float], rate: Optional[float] = None) -> None:
+        """Insert additional items at the given rate and wait for them."""
+        rate = rate or self.settings.item_insert_rate
+        workload = ItemWorkload(keys, insert_rate=rate, start_time=self.index.sim.now + 0.1)
+        self.inserted_keys.extend(keys)
+        self.index.sim.process(self._item_driver(workload), name="driver:more-items")
+        self.index.run(workload.duration + 5.0)
+
+    def delete_items(self, keys: List[float], rate: float = 2.0) -> None:
+        """Delete items at the given rate (forces underflows, merges, leaves)."""
+        for key in keys:
+            self.index.run_process(self.index.delete_item(key))
+            self.deleted_keys.append(key)
+            if rate > 0:
+                self.index.run(1.0 / rate)
+
+    # ------------------------------------------------------------------ queries
+    def run_query(self, lb: float, ub: float, via: Optional[str] = None) -> QueryOutcome:
+        """Execute one range query and wrap its outcome."""
+        result = self.index.range_query_now(lb, ub, via=via)
+        record = self.index.query_records[-1] if self.index.query_records else None
+        return QueryOutcome(
+            lb=lb,
+            ub=ub,
+            hops=result["hops"],
+            elapsed=result["end_time"] - result["start_time"],
+            scan_elapsed=result["scan_elapsed"],
+            complete=result["complete"],
+            keys=result["keys"],
+            record=record,
+            strategy=result["strategy"],
+        )
+
+    def run_queries_by_hops(
+        self, hop_targets: List[int], queries_per_target: int = 5
+    ) -> Dict[int, List[QueryOutcome]]:
+        """Issue queries sized to span the requested hop counts (Figure 21)."""
+        rng = self.index.rngs.stream("queries")
+        outcomes: Dict[int, List[QueryOutcome]] = {}
+        for target in hop_targets:
+            for _ in range(queries_per_target):
+                members = sorted(self.index.ring_members(), key=lambda p: p.ring.value)
+                if len(members) < 2:
+                    continue
+                values = [peer.ring.value for peer in members]
+                start_index = rng.randrange(len(values))
+                end_index = start_index + min(target, len(values) - 1)
+                lb = values[start_index]
+                if end_index >= len(values):
+                    continue
+                ub = values[end_index]
+                if ub <= lb:
+                    continue
+                via = members[rng.randrange(len(members))].address
+                outcome = self.run_query(lb, ub, via=via)
+                outcomes.setdefault(outcome.hops, []).append(outcome)
+                self.index.run(0.5)
+        return outcomes
+
+    # ------------------------------------------------------------------ metric helpers
+    def mean_metric(self, name: str) -> Optional[float]:
+        """Mean of a named metric collected so far."""
+        return self.index.metrics.mean(name)
+
+    def metric_values(self, name: str) -> List[float]:
+        return self.index.metrics.values(name)
+
+    def expected_keys(self, lb: float, ub: float) -> List[float]:
+        """Keys inserted (and not deleted) that fall in ``(lb, ub]``."""
+        alive = set(self.inserted_keys) - set(self.deleted_keys)
+        return sorted(k for k in alive if lb < k <= ub)

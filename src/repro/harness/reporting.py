@@ -1,0 +1,45 @@
+"""Plain-text reporting of experiment results.
+
+The benchmarks print the same rows the paper plots, so the reproduction can be
+compared against the published figures at a glance; EXPERIMENTS.md embeds the
+resulting tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    materialised: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines = [
+        " | ".join(str(header).ljust(widths[index]) for index, header in enumerate(headers)),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for row in materialised:
+        lines.append(
+            " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(title: str, rows: Mapping, unit: str = "s") -> str:
+    """Render an ``x -> value`` mapping as a small table with a title."""
+    table = format_table(["x", f"value ({unit})"], sorted(rows.items()))
+    return f"{title}\n{table}"
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100 or abs(cell) < 0.0001:
+            return f"{cell:.3g}"
+        return f"{cell:.4f}"
+    return str(cell)

@@ -1,0 +1,31 @@
+"""P2P Index layer: configuration, per-peer composition and the cluster facade.
+
+Attribute access is lazy so that low-level packages (ring, data store,
+replication) can import :mod:`repro.index.config` without dragging in the
+peer/cluster modules that depend on them.
+"""
+
+from typing import TYPE_CHECKING
+
+__all__ = ["IndexConfig", "IndexPeer", "PRingIndex", "default_config"]
+
+if TYPE_CHECKING:  # pragma: no cover - static typing only
+    from repro.index.config import IndexConfig, default_config
+    from repro.index.peer import IndexPeer
+    from repro.index.pring import PRingIndex
+
+
+def __getattr__(name):
+    if name in ("IndexConfig", "default_config"):
+        from repro.index import config
+
+        return getattr(config, name)
+    if name == "IndexPeer":
+        from repro.index.peer import IndexPeer
+
+        return IndexPeer
+    if name == "PRingIndex":
+        from repro.index.pring import PRingIndex
+
+        return PRingIndex
+    raise AttributeError(f"module 'repro.index' has no attribute {name!r}")

@@ -1,0 +1,218 @@
+"""Cluster-level facade: a whole simulated P-Ring deployment.
+
+:class:`PRingIndex` owns the simulator, network, free-peer pool, metrics and
+history recorder, and exposes the P2P Index API of Figure 1 at cluster level:
+
+* ``insert_item`` / ``delete_item`` -- routed to the responsible peer;
+* ``range_query`` -- executed with scanRange or the naive scan per config;
+* ``add_peer`` (arrives as a free peer), ``fail_peer``, and time control.
+
+Everything inside the cluster still happens through simulated messages between
+peers; the facade only provides convenient entry points for examples, tests and
+the experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.correctness import QueryRecord
+from repro.core.histories import HistoryRecorder
+from repro.datastore.maintenance import FreePeerPool
+from repro.harness.metrics import Metrics
+from repro.index.config import IndexConfig, default_config
+from repro.index.peer import IndexPeer
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.network import Network, RpcError
+from repro.sim.randomness import RngStreams
+
+
+class PRingIndex:
+    """A simulated deployment of the index with the configured protocols."""
+
+    def __init__(self, config: Optional[IndexConfig] = None):
+        self.config = config or default_config()
+        self.config.validate()
+        self.sim = Simulator()
+        self.rngs = RngStreams(self.config.seed)
+        self.network = Network(self.sim, self.rngs.stream("network"), self.config.network)
+        self.metrics = Metrics()
+        self.history = HistoryRecorder(self.sim)
+        self.pool = FreePeerPool(self.sim, self.network, address="pool")
+        self.peers: Dict[str, IndexPeer] = {}
+        self.query_records: List[QueryRecord] = []
+        self._next_peer = 0
+        self._bootstrapped = False
+
+    # ------------------------------------------------------------------ peers
+    def _new_address(self) -> str:
+        self._next_peer += 1
+        return f"peer{self._next_peer:03d}"
+
+    def _make_peer(self, value: float) -> IndexPeer:
+        address = self._new_address()
+        peer = IndexPeer(
+            sim=self.sim,
+            network=self.network,
+            address=address,
+            value=value,
+            config=self.config,
+            rng=self.rngs.stream(f"peer:{address}"),
+            pool_address=self.pool.address,
+            metrics=self.metrics,
+            history=self.history,
+        )
+        self.peers[address] = peer
+        return peer
+
+    def bootstrap(self) -> IndexPeer:
+        """Create the first peer (owning the whole key space)."""
+        if self._bootstrapped:
+            raise SimulationError("the index is already bootstrapped")
+        peer = self._make_peer(value=self.config.key_space)
+        peer.bootstrap_first()
+        self._bootstrapped = True
+        return peer
+
+    def add_peer(self) -> IndexPeer:
+        """Add a new peer to the system as a *free* peer.
+
+        Free peers enter the ring when a Data Store split needs them, exactly
+        as in P-Ring; the experiments add peers at the paper's rate of one
+        every three seconds.
+        """
+        if not self._bootstrapped:
+            return self.bootstrap()
+        peer = self._make_peer(value=0.0)
+        self.pool.add(peer.address)
+        return peer
+
+    def fail_peer(self, address: str) -> None:
+        """Fail-stop the peer at ``address``."""
+        peer = self.peers[address]
+        peer.fail()
+
+    def live_peers(self) -> List[IndexPeer]:
+        """All peers that have not failed."""
+        return [peer for peer in self.peers.values() if peer.alive]
+
+    def ring_members(self) -> List[IndexPeer]:
+        """All live peers currently part of the ring."""
+        return [peer for peer in self.live_peers() if peer.in_ring]
+
+    def free_peers(self) -> List[IndexPeer]:
+        """All live peers currently outside the ring."""
+        return [peer for peer in self.live_peers() if peer.is_free]
+
+    def peer_for_key(self, key: float) -> Optional[IndexPeer]:
+        """The ring member currently responsible for ``key`` (by direct inspection)."""
+        for peer in self.ring_members():
+            if peer.store.owns_key(key):
+                return peer
+        return None
+
+    def total_stored_items(self) -> int:
+        """Total number of items across all live Data Stores."""
+        return sum(peer.store.item_count() for peer in self.ring_members())
+
+    # ------------------------------------------------------------------ time control
+    def run(self, duration: float) -> float:
+        """Advance the simulation by ``duration`` seconds."""
+        return self.sim.run(until=self.sim.now + duration)
+
+    def run_process(self, generator, timeout: float = 600.0):
+        """Run a simulated process to completion and return its value."""
+        return self.sim.run_process(generator, timeout=timeout)
+
+    # ------------------------------------------------------------------ index API
+    def _entry_peer(self, via: Optional[str] = None) -> IndexPeer:
+        if via is not None:
+            peer = self.peers[via]
+            if peer.alive:
+                return peer
+        members = self.ring_members()
+        if not members:
+            raise SimulationError("no live ring members to route through")
+        return members[0]
+
+    def insert_item(self, skv: float, payload=None, via: Optional[str] = None):
+        """Generator: insert ``(skv, payload)`` through peer ``via`` (or any member)."""
+        peer = self._entry_peer(via)
+        self.history.record("index_insert_item", peer=peer.address, skv=skv)
+        stored = False
+        for _attempt in range(8):
+            target = yield from peer.router.find_responsible(skv)
+            if target is None:
+                yield self.sim.timeout(0.25)
+                continue
+            try:
+                response = yield peer.call(
+                    target, "ds_store_item", {"item": {"skv": skv, "payload": payload}}
+                )
+            except RpcError:
+                yield self.sim.timeout(0.1)
+                continue
+            if response.get("stored"):
+                stored = True
+                break
+            yield self.sim.timeout(0.1)
+        self.history.record(
+            "index_insert_done", peer=peer.address, skv=skv, stored=stored
+        )
+        return stored
+
+    def delete_item(self, skv: float, via: Optional[str] = None):
+        """Generator: delete the item with key ``skv``."""
+        peer = self._entry_peer(via)
+        self.history.record("index_delete_item", peer=peer.address, skv=skv)
+        removed = False
+        responsible = None
+        for _attempt in range(8):
+            responsible = yield from peer.router.find_responsible(skv)
+            if responsible is None:
+                yield self.sim.timeout(0.25)
+                continue
+            try:
+                response = yield peer.call(responsible, "ds_remove_item", {"skv": skv})
+            except RpcError:
+                yield self.sim.timeout(0.1)
+                continue
+            if response.get("removed") or response.get("reason") == "not_responsible":
+                removed = response.get("removed", False)
+                if removed:
+                    break
+            yield self.sim.timeout(0.1)
+        if removed and responsible is not None:
+            owner = self.peers.get(responsible)
+            if owner is not None and owner.alive:
+                owner.replication.propagate_delete(skv)
+        self.history.record("index_delete_done", peer=peer.address, skv=skv, removed=removed)
+        return removed
+
+    def range_query(self, lb: float, ub: float, via: Optional[str] = None, timeout: float = 60.0):
+        """Generator: evaluate the range query ``(lb, ub]`` and record it for checking."""
+        peer = self._entry_peer(via)
+        result = yield from peer.queries.range_query(lb, ub, timeout=timeout)
+        self.query_records.append(
+            QueryRecord(
+                lb=lb,
+                ub=ub,
+                start_time=result["start_time"],
+                end_time=result["end_time"],
+                result_keys=result["keys"],
+            )
+        )
+        return result
+
+    # ------------------------------------------------------------------ convenience (blocking wrappers)
+    def insert_item_now(self, skv: float, payload=None, via: Optional[str] = None) -> bool:
+        """Insert an item and advance the simulation until it completes."""
+        return self.run_process(self.insert_item(skv, payload, via=via))
+
+    def delete_item_now(self, skv: float, via: Optional[str] = None) -> bool:
+        """Delete an item and advance the simulation until it completes."""
+        return self.run_process(self.delete_item(skv, via=via))
+
+    def range_query_now(self, lb: float, ub: float, via: Optional[str] = None, timeout: float = 60.0):
+        """Run a range query and advance the simulation until it completes."""
+        return self.run_process(self.range_query(lb, ub, via=via, timeout=timeout))

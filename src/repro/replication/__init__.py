@@ -1,0 +1,6 @@
+"""Replication Manager: CFS-style successor replication plus the extra-hop protocol."""
+
+from repro.replication.cfs import ReplicationManager
+from repro.replication.extra_hop import push_items_one_extra_hop
+
+__all__ = ["ReplicationManager", "push_items_one_extra_hop"]

@@ -1,0 +1,22 @@
+"""Fault Tolerant Ring substrate (Chord-style) with naive baseline protocols."""
+
+from repro.ring.entries import (
+    FREE,
+    INSERTING,
+    JOINED,
+    JOINING,
+    LEAVING,
+    SuccessorEntry,
+)
+from repro.ring.chord import ChordRing, RingListener
+
+__all__ = [
+    "ChordRing",
+    "FREE",
+    "INSERTING",
+    "JOINED",
+    "JOINING",
+    "LEAVING",
+    "RingListener",
+    "SuccessorEntry",
+]

@@ -1,0 +1,670 @@
+"""Chord-style Fault Tolerant Ring with the *naive* insert/leave baselines.
+
+This module provides the ring substrate the paper builds on (Section 2.3):
+successor lists of configurable length, periodic stabilization with the first
+live successor, ping-based predecessor failure detection, and the naive
+``insertSucc`` / ``leave`` used as baselines in Section 6.2.
+
+The consistency-preserving PEPPER variants (Algorithms 1-2 and Section 5.1)
+live in :mod:`repro.core.pepper_ring` and subclass :class:`ChordRing`.
+
+A :class:`ChordRing` is a *component* attached to a :class:`~repro.sim.node.Node`;
+it registers its message handlers on the node and exposes ring events to higher
+layers (the Data Store and Replication Manager) through :class:`RingListener`
+callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.index.config import IndexConfig
+from repro.ring.entries import (
+    FREE,
+    INSERTING,
+    JOINED,
+    JOINING,
+    LEAVING,
+    SuccessorEntry,
+    entries_from_wire,
+    entries_to_wire,
+)
+from repro.sim.engine import Interrupt
+from repro.sim.locks import RWLock
+from repro.sim.network import RpcError
+from repro.sim.node import Node
+
+
+def in_open_interval(value: float, low: float, high: float) -> bool:
+    """Whether ``value`` lies in the circular open interval ``(low, high)``.
+
+    The peer-value domain wraps around (Section 2.2): if ``low >= high`` the
+    interval crosses the wrap point.  A degenerate interval (``low == high``)
+    is treated as the whole ring minus the endpoint, which is the correct
+    behaviour for a single-peer ring adopting its first real predecessor.
+    """
+    if low == high:
+        return value != low
+    if low < high:
+        return low < value < high
+    return value > low or value < high
+
+
+class RingListener:
+    """Callbacks through which higher layers observe ring events.
+
+    The Data Store listens for predecessor changes (its range is
+    ``(pred.value, own.value]``), the Replication Manager listens for
+    predecessor failures (to revive replicas), and the index facade listens
+    for join completion.
+    """
+
+    def on_joined(self, ring: "ChordRing") -> None:
+        """This peer completed its insertion into the ring."""
+
+    def on_predecessor_changed(
+        self,
+        ring: "ChordRing",
+        old_address: Optional[str],
+        old_value: Optional[float],
+        new_address: str,
+        new_value: float,
+    ) -> None:
+        """The peer's predecessor (hence its range lower bound) changed."""
+
+    def on_predecessor_failed(
+        self, ring: "ChordRing", old_address: str, old_value: float
+    ) -> None:
+        """The peer's predecessor stopped responding to pings."""
+
+    def on_successor_changed(self, ring: "ChordRing", new_address: str) -> None:
+        """The peer's first live successor changed."""
+
+
+class ChordRing:
+    """The Fault Tolerant Ring component of one peer."""
+
+    def __init__(
+        self,
+        node: Node,
+        value: float,
+        config: IndexConfig,
+        metrics=None,
+        history=None,
+    ):
+        self.node = node
+        self.value = value
+        self.config = config
+        self.metrics = metrics
+        self.history = history
+
+        self.state = FREE
+        self.succ_list: List[SuccessorEntry] = []
+        self.pred_address: Optional[str] = None
+        self.pred_value: Optional[float] = None
+        self.succ_lock = RWLock(node.sim, name=f"{node.address}.succList")
+
+        self.listeners: List[RingListener] = []
+        self._joined_event = node.sim.event()
+        self._maintenance_started = False
+        self._stabilizing = False
+        self._stabilize_pending = False
+
+        node.register_handler("ring_stabilize", self._handle_stabilize)
+        node.register_handler("ring_ping", self._handle_ping)
+        node.register_handler("ring_insert_successor", self._handle_insert_successor)
+        node.register_handler("ring_join", self._handle_join)
+        node.register_handler("ring_nudge", self._handle_nudge)
+
+    # ------------------------------------------------------------------ helpers
+    @property
+    def sim(self):
+        return self.node.sim
+
+    @property
+    def address(self) -> str:
+        return self.node.address
+
+    @property
+    def is_joined(self) -> bool:
+        """Whether the peer is a full ring member (JOINED or mid-insert)."""
+        return self.state in (JOINED, INSERTING, LEAVING)
+
+    def add_listener(self, listener: RingListener) -> None:
+        """Subscribe ``listener`` to ring events."""
+        self.listeners.append(listener)
+
+    def _record(self, metric: str, duration: float) -> None:
+        if self.metrics is not None:
+            self.metrics.record(metric, duration)
+
+    def _record_op(self, kind: str, **attrs) -> None:
+        if self.history is not None:
+            self.history.record(kind, peer=self.address, **attrs)
+
+    # ------------------------------------------------------------------ queries
+    def successor_entries(self) -> List[SuccessorEntry]:
+        """A snapshot copy of the successor list."""
+        return [entry.copy() for entry in self.succ_list]
+
+    def first_live_successor(self) -> Optional[str]:
+        """Address of the first JOINED successor, or ``None`` if alone."""
+        entry = self._first_joined_entry()
+        if entry is None or entry.address == self.address:
+            return None
+        return entry.address
+
+    def joined_successors(self, count: int) -> List[str]:
+        """Addresses of up to ``count`` JOINED successors (excluding self)."""
+        result: List[str] = []
+        for entry in self.succ_list:
+            if entry.state != JOINED or entry.address == self.address:
+                continue
+            if entry.address not in result:
+                result.append(entry.address)
+            if len(result) >= count:
+                break
+        return result
+
+    def _first_joined_entry(self) -> Optional[SuccessorEntry]:
+        for entry in self.succ_list:
+            if entry.state == JOINED:
+                return entry
+        return None
+
+    def _first_joined_address(self) -> Optional[str]:
+        entry = self._first_joined_entry()
+        return entry.address if entry is not None else None
+
+    def _stabilization_target(self) -> Optional[SuccessorEntry]:
+        """First successor to stabilize with (skip JOINING/LEAVING pointers)."""
+        for entry in self.succ_list:
+            if entry.state == JOINED and entry.address != self.address:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------ bootstrap
+    def create(self) -> None:
+        """Initialise this peer as the first (and only) member of the ring."""
+        self.state = JOINED
+        self.succ_list = [SuccessorEntry(self.address, self.value, JOINED, True)]
+        self.pred_address = self.address
+        self.pred_value = self.value
+        self._record_op("ring_create", value=self.value)
+        self._start_maintenance()
+        self._fire_joined()
+        if not self._joined_event.triggered:
+            self._joined_event.succeed(self.address)
+
+    def join(self, predecessor_address: str):
+        """Join the ring as the successor of ``predecessor_address``.
+
+        Runs as a generator; completes once this peer is JOINED (i.e. once the
+        predecessor's ``insertSucc`` finished and sent us our ring state).
+        Returns the elapsed time.
+        """
+        started = self.sim.now
+        self.state = JOINING
+        if self._joined_event.triggered:
+            # Re-joining after a previous membership (a merged-away free peer
+            # being reused for a later split): arm a fresh completion event.
+            self._joined_event = self.sim.event()
+        self._record_op("ring_init_join", predecessor=predecessor_address)
+        attempts = 0
+        while not self._joined_event.triggered:
+            attempts += 1
+            try:
+                response = yield self.node.call(
+                    predecessor_address,
+                    "ring_insert_successor",
+                    {"address": self.address, "value": self.value},
+                )
+            except RpcError:
+                response = None
+            if response is not None and not response.get("accepted", False):
+                redirect = response.get("redirect")
+                if redirect and redirect != self.address:
+                    # Our value does not fit right after the contacted peer
+                    # (its predecessor pointer was stale when the split chose
+                    # it); walk towards the correct insertion point.
+                    predecessor_address = redirect
+                    continue
+                if response.get("state") == FREE:
+                    # The contact peer is no longer a ring member; there is no
+                    # point retrying through it.
+                    self.state = FREE
+                    raise RuntimeError(
+                        f"{self.address}: join contact {predecessor_address} left the ring"
+                    )
+                # The predecessor is busy (mid-insert or leaving): back off.
+                yield self.sim.timeout(self.config.stabilization_period / 4)
+                continue
+            # Wait for the predecessor to finish the insert protocol and call
+            # ``ring_join`` on us; re-try if it takes implausibly long (the
+            # predecessor may have failed mid-protocol).
+            wait = self.sim.timeout(self.config.join_ack_timeout * 2)
+            yield self.sim.any_of([self._joined_event, wait])
+            if attempts > 20 and not self._joined_event.triggered:
+                self.state = FREE
+                raise RuntimeError(f"{self.address}: could not join the ring")
+        duration = self.sim.now - started
+        self._record_op("ring_joined", value=self.value, duration=duration)
+        return duration
+
+    # ------------------------------------------------------------------ insertSucc
+    def _handle_insert_successor(self, payload, request):
+        """RPC: a new peer asks to be inserted as this peer's successor.
+
+        Replies immediately with acceptance; the insert protocol itself runs as
+        a background process so its latency (what Figures 19/20/23 measure) is
+        not bounded by the RPC timeout.
+
+        The request is accepted only if the new peer's value actually falls
+        between this peer and its current first successor; otherwise the caller
+        is redirected towards the correct position.  This matters because the
+        Data Store split addresses the insert through a possibly stale
+        predecessor pointer.
+        """
+        if self.state != JOINED:
+            return {"accepted": False, "state": self.state}
+        new_address = payload["address"]
+        new_value = payload["value"]
+        successor = self._first_joined_entry()
+        if (
+            successor is not None
+            and successor.address not in (self.address, new_address)
+            and not in_open_interval(new_value, self.value, successor.value)
+        ):
+            if self.pred_address not in (None, self.address) and in_open_interval(
+                new_value, self.pred_value, self.value
+            ):
+                redirect = self.pred_address
+            else:
+                redirect = successor.address
+            return {"accepted": False, "state": self.state, "redirect": redirect}
+        self._record_op("init_insert_succ", new_peer=new_address, value=new_value)
+        self.node.spawn(
+            self._insert_protocol(new_address, new_value),
+            name=f"insertSucc:{new_address}",
+        )
+        return {"accepted": True}
+
+    def _insert_protocol(self, new_address: str, new_value: float):
+        """Naive insertSucc: update the local list and hand off ring state.
+
+        The joining peer becomes the first successor immediately; no other peer
+        is told about it until normal stabilization propagates the information,
+        which is exactly the window in which Section 4.2.1's anomaly occurs.
+        """
+        started = self.sim.now
+        yield self.succ_lock.acquire_write()
+        try:
+            successor_view = [entry.copy() for entry in self.succ_list]
+            entry = SuccessorEntry(new_address, new_value, JOINED, stabilized=True)
+            self.succ_list.insert(0, entry)
+            self._trim()
+        finally:
+            self.succ_lock.release_write()
+        try:
+            yield self.node.call(
+                new_address,
+                "ring_join",
+                {
+                    "succ_list": entries_to_wire(
+                        successor_view[: self.config.successor_list_length]
+                    ),
+                    "pred_address": self.address,
+                    "pred_value": self.value,
+                },
+            )
+        except RpcError:
+            # The new peer failed before joining; drop it from our list.
+            yield self.succ_lock.acquire_write()
+            self.succ_list = [e for e in self.succ_list if e.address != new_address]
+            self.succ_lock.release_write()
+            return
+        duration = self.sim.now - started
+        self._record("insert_succ", duration)
+        self._record_op("insert_succ", new_peer=new_address, duration=duration)
+        self._fire_successor_changed(new_address)
+
+    def _handle_join(self, payload, request):
+        """RPC: the predecessor hands us our initial ring state; we are JOINED."""
+        if self.state == JOINED:
+            return {"ok": True, "duplicate": True}
+        entries = entries_from_wire(payload["succ_list"])
+        entries = [e for e in entries if e.address != self.address]
+        if not entries:
+            entries = [
+                SuccessorEntry(payload["pred_address"], payload["pred_value"], JOINED, True)
+            ]
+        self.succ_list = entries[: self.config.successor_list_length]
+        old_pred_addr, old_pred_val = self.pred_address, self.pred_value
+        self.pred_address = payload["pred_address"]
+        self.pred_value = payload["pred_value"]
+        self.state = JOINED
+        self._record_op("ring_join", pred=self.pred_address, value=self.value)
+        self._start_maintenance()
+        self._fire_joined()
+        self._fire_predecessor_changed(
+            old_pred_addr, old_pred_val, self.pred_address, self.pred_value
+        )
+        if not self._joined_event.triggered:
+            self._joined_event.succeed(self.address)
+        return {"ok": True}
+
+    # ------------------------------------------------------------------ leave
+    def leave(self):
+        """Naive leave (baseline): simply stop participating in the ring.
+
+        No other peer is informed, so pointers to this peer dangle until the
+        next stabilization round -- the availability reduction analysed in
+        Section 5.1.  Returns the elapsed time (essentially zero).
+        """
+        started = self.sim.now
+        self.state = FREE
+        self._record_op("ring_leave", naive=True)
+        duration = self.sim.now - started
+        self._record("leave", duration)
+        return duration
+        yield  # pragma: no cover - keeps this a generator like the PEPPER variant
+
+    # ------------------------------------------------------------------ maintenance
+    def _start_maintenance(self) -> None:
+        if self._maintenance_started:
+            return
+        self._maintenance_started = True
+        jitter = self.config.stabilization_jitter
+        self.node.every(
+            self.config.stabilization_period,
+            self._stabilize_once,
+            jitter=jitter,
+            name="ring-stabilize",
+        )
+        self.node.every(
+            self.config.predecessor_check_period,
+            self._check_predecessor_once,
+            jitter=jitter,
+            name="ring-pred-check",
+        )
+        self.node.every(
+            self.config.stabilization_period,
+            self._validate_successors_once,
+            jitter=jitter,
+            initial_delay=self.config.stabilization_period * 1.5,
+            name="ring-succ-validate",
+        )
+
+    def stabilize_now(self) -> None:
+        """Trigger an immediate, one-off stabilization round.
+
+        If a round is already in progress, one more round is queued to run
+        right after it (nudges must not be silently dropped -- the PEPPER
+        protocols' latency depends on them).
+        """
+        if not self.is_joined:
+            return
+        if self._stabilizing:
+            self._stabilize_pending = True
+            return
+        self.node.spawn(self._stabilize_once(), name="ring-stabilize-now")
+
+    def _handle_nudge(self, payload, request):
+        """RPC: a successor asks us to stabilize immediately.
+
+        Used by the PEPPER protocols' proactive-predecessor optimisation
+        (Section 4.3.1); harmless for the naive ring.
+        """
+        self.stabilize_now()
+        return {"ok": True}
+
+    def _stabilize_once(self):
+        """One stabilization round: contact the first live successor, adopt its list."""
+        if not self.is_joined or self._stabilizing:
+            return
+        self._stabilizing = True
+        try:
+            yield from self._stabilize_round()
+            while self._stabilize_pending and self.is_joined:
+                self._stabilize_pending = False
+                yield from self._stabilize_round()
+        finally:
+            self._stabilizing = False
+            self._stabilize_pending = False
+
+    def _stabilize_round(self):
+        while True:
+            target = self._stabilization_target()
+            if target is None:
+                return
+            try:
+                response = yield self.node.call(
+                    target.address,
+                    "ring_stabilize",
+                    {
+                        "pred_address": self.address,
+                        "pred_value": self.value,
+                        "pred_state": self.state,
+                    },
+                    timeout=self.config.failure_detection_timeout,
+                )
+            except RpcError:
+                # The successor is unreachable: drop it and try the next one.
+                yield self.succ_lock.acquire_write()
+                try:
+                    self.succ_list = [
+                        e for e in self.succ_list if e.address != target.address
+                    ]
+                finally:
+                    self.succ_lock.release_write()
+                self._record_op("successor_failure_detected", failed=target.address)
+                continue
+            except Interrupt:
+                raise
+            yield from self._adopt(target, response)
+            return
+
+    def _handle_stabilize(self, payload, request):
+        """RPC: a predecessor stabilizes with us; maybe adopt it, return our list."""
+        if not self.is_joined:
+            # A free (merged-away) or still-joining peer must not hand out ring
+            # state; the caller treats the error as a failed successor and
+            # drops the stale pointer.
+            raise RuntimeError(f"{self.address} is not a ring member ({self.state})")
+        self._consider_predecessor(payload["pred_address"], payload["pred_value"])
+        reported_state = LEAVING if self.state == LEAVING else JOINED
+        return {
+            "value": self.value,
+            "state": reported_state,
+            "succ_list": entries_to_wire(self.succ_list),
+        }
+
+    def _handle_ping(self, payload, request):
+        return {"value": self.value, "state": self.state}
+
+    def _consider_predecessor(self, address: str, value: float) -> None:
+        """Adopt ``address`` as predecessor if it is closer than the current one."""
+        if address == self.address:
+            return
+        if self.pred_address == address:
+            if value != self.pred_value:
+                old_value = self.pred_value
+                self.pred_value = value
+                self._fire_predecessor_changed(address, old_value, address, value)
+            return
+        no_pred = self.pred_address is None or self.pred_address == self.address
+        if no_pred or in_open_interval(value, self.pred_value, self.value):
+            old_address, old_value = self.pred_address, self.pred_value
+            self.pred_address = address
+            self.pred_value = value
+            self._record_op("predecessor_changed", pred=address, pred_value=value)
+            self._fire_predecessor_changed(old_address, old_value, address, value)
+
+    def _check_predecessor_once(self):
+        """Ping the predecessor; clear it if it stopped responding."""
+        if not self.is_joined:
+            return
+        if self.pred_address in (None, self.address):
+            return
+        pred_address, pred_value = self.pred_address, self.pred_value
+        gone = False
+        try:
+            response = yield self.node.call(
+                pred_address,
+                "ring_ping",
+                {},
+                timeout=self.config.failure_detection_timeout,
+            )
+            # A predecessor that merged away (FREE) or never finished joining
+            # is no longer a ring member even though its process is alive.
+            gone = response.get("state") in (FREE, JOINING)
+        except RpcError:
+            gone = True
+        if gone:
+            if self.pred_address != pred_address:
+                return
+            self.pred_address = None
+            # Keep ``pred_value`` so the Data Store range stays put until a new
+            # predecessor announces itself (at which point the range grows and
+            # the Replication Manager revives the lost peer's items).
+            self._record_op("predecessor_failure_detected", failed=pred_address)
+            for listener in self.listeners:
+                listener.on_predecessor_failed(self, pred_address, pred_value)
+
+    def _validate_successors_once(self):
+        """Drop successor-list entries that point at peers no longer in the ring.
+
+        Stabilization only exercises the *first* live successor, so in small
+        rings a pointer to a peer that merged away (state FREE) can keep
+        circulating through adopted lists indefinitely.  Such zombie entries
+        inflate the apparent ring size, steer replicas at non-members and delay
+        the leave protocol's acknowledgements, so they are periodically pinged
+        and removed.
+        """
+        if not self.is_joined:
+            return
+        targets = [
+            entry.copy()
+            for entry in self.succ_list
+            if entry.state in (JOINED, LEAVING) and entry.address != self.address
+        ]
+        if targets and targets[0].state == JOINED:
+            # The first live successor is exercised by stabilization anyway.
+            targets = targets[1:]
+        stale = []
+        for entry in targets:
+            try:
+                response = yield self.node.call(
+                    entry.address,
+                    "ring_ping",
+                    {},
+                    timeout=self.config.failure_detection_timeout,
+                )
+            except RpcError:
+                stale.append(entry.address)
+                continue
+            if response.get("state") in (FREE, JOINING):
+                stale.append(entry.address)
+        if not stale:
+            return
+        yield self.succ_lock.acquire_write()
+        try:
+            self.succ_list = [e for e in self.succ_list if e.address not in stale]
+        finally:
+            self.succ_lock.release_write()
+        self._record_op("successor_entries_pruned", pruned=stale)
+
+    # ------------------------------------------------------------------ adoption
+    def _adopt(self, contacted: SuccessorEntry, response) -> None:
+        """Adopt the successor list returned by a stabilization round."""
+        yield self.succ_lock.acquire_write()
+        try:
+            old_first = self._first_joined_address()
+            head = SuccessorEntry(
+                contacted.address,
+                response["value"],
+                response.get("state", JOINED),
+                stabilized=True,
+            )
+            received = entries_from_wire(response["succ_list"])
+            received = [e for e in received if e.address != self.address]
+            received = [e for e in received if e.address != head.address]
+            self._install_list(head, received)
+            self._post_adopt()
+            new_first = self._first_joined_address()
+        finally:
+            self.succ_lock.release_write()
+        if new_first is not None and new_first != old_first:
+            self._fire_successor_changed(new_first)
+
+    _STATE_RANK = {JOINING: 0, JOINED: 1, LEAVING: 2}
+
+    def _install_list(self, head: SuccessorEntry, received: List[SuccessorEntry]) -> None:
+        """Merge the successor's reported list into our own.
+
+        * Entries are merged per address, keeping the most *advanced* state a
+          peer's lifecycle allows (JOINING -> JOINED -> LEAVING), so a stale
+          report from further along the ring can never downgrade knowledge the
+          inserter or a direct predecessor obtained first-hand.
+        * The merged list is kept sorted by clockwise distance from this peer,
+          which is the ring-order invariant the paper's successor lists have by
+          construction; it makes "position in the list" equal to "distance
+          along the ring", which the PEPPER acknowledgement rules rely on.
+        * Entries only we remember (e.g. a peer that our successor has already
+          trimmed away) are retained; the periodic successor validation prunes
+          them once they actually leave the ring.
+        """
+        self._last_received_addresses = {e.address for e in received}
+        self._last_received_addresses.add(head.address)
+        candidates = [head] + list(received) + [e.copy() for e in self.succ_list]
+        best: dict[str, SuccessorEntry] = {}
+        for entry in candidates:
+            if entry.address == self.address:
+                continue
+            current = best.get(entry.address)
+            if current is None:
+                best[entry.address] = entry
+                continue
+            if self._STATE_RANK.get(entry.state, 1) > self._STATE_RANK.get(current.state, 1):
+                best[entry.address] = SuccessorEntry(
+                    entry.address, current.value, entry.state, current.stabilized
+                )
+        merged = sorted(best.values(), key=lambda e: self._clockwise_distance(e.value))
+        self.succ_list = merged
+        self._trim()
+
+    def _clockwise_distance(self, value: float) -> float:
+        """Clockwise distance from this peer's value to ``value`` on the ring."""
+        span = self.config.key_space
+        distance = (value - self.value) % span
+        return distance if distance > 0 else span
+
+    def _post_adopt(self) -> None:
+        """Hook for the PEPPER ring's JOINING/LEAVING bookkeeping (no-op here)."""
+
+    def _trim(self) -> None:
+        """Bound the successor list to the configured length."""
+        del self.succ_list[self.config.successor_list_length :]
+
+    # ------------------------------------------------------------------ value updates
+    def update_value(self, new_value: float) -> None:
+        """Change this peer's ring value (used by Data Store redistribution).
+
+        The new value propagates to neighbours through subsequent stabilization
+        rounds.
+        """
+        self._record_op("value_changed", old=self.value, new=new_value)
+        self.value = new_value
+
+    # ------------------------------------------------------------------ event firing
+    def _fire_joined(self) -> None:
+        for listener in self.listeners:
+            listener.on_joined(self)
+
+    def _fire_predecessor_changed(self, old_addr, old_val, new_addr, new_val) -> None:
+        for listener in self.listeners:
+            listener.on_predecessor_changed(self, old_addr, old_val, new_addr, new_val)
+
+    def _fire_successor_changed(self, new_address: str) -> None:
+        for listener in self.listeners:
+            listener.on_successor_changed(self, new_address)

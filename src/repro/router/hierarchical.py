@@ -1,0 +1,141 @@
+"""Hierarchical (P-Ring style) content router.
+
+The P-Ring Content Router indexes the ring itself with a hierarchy of rings so
+that the peer responsible for any search key value is reached in a logarithmic
+number of hops even under skewed key distributions.  We implement the same
+capability with the classic pointer-doubling construction: every peer maintains
+a table whose level-``i`` pointer is (approximately) ``2**i`` ring positions
+away, refreshed periodically by asking the level-``i-1`` peer for *its*
+level-``i-1`` pointer.  Routing repeatedly jumps to the farthest table entry
+that does not overshoot the target key, falling back to plain successor hops
+whenever a pointer is stale or its peer has failed.
+
+The construction differs from the paper's hierarchy-of-rings in mechanism but
+matches it in the property the rest of the system relies on: O(log N) routing
+over an order-preserving, skew-tolerant key assignment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.index.config import IndexConfig
+from repro.router.linear import LinearRouter
+from repro.sim.network import RpcError
+
+
+class HierarchicalRingRouter(LinearRouter):
+    """Logarithmic-hop router built by pointer doubling."""
+
+    def __init__(self, node, ring, store, config: IndexConfig, metrics=None, history=None):
+        super().__init__(node, ring, store, config, metrics=metrics, history=history)
+        # table[i] = (address, value) of the peer ~2**i positions clockwise.
+        self.table: List[Tuple[str, float]] = []
+        node.register_handler("route_table_entry", self._handle_table_entry)
+        node.every(
+            config.router_refresh_period,
+            self._refresh_table,
+            jitter=config.stabilization_jitter,
+            name="router-refresh",
+            initial_delay=config.router_refresh_period,
+        )
+
+    # ------------------------------------------------------------------ table maintenance
+    def _handle_table_entry(self, payload, request):
+        """RPC: return our routing-table entry at ``level`` (for pointer doubling)."""
+        level = payload.get("level", 0)
+        if level < len(self.table):
+            address, value = self.table[level]
+            return {"address": address, "value": value}
+        successor = self.ring.first_live_successor()
+        if successor is None:
+            return {"address": None, "value": None}
+        return {"address": successor, "value": None}
+
+    def _refresh_table(self):
+        """Rebuild the pointer table by doubling along the ring."""
+        if not self.ring.is_joined:
+            return
+        successor = self.ring.first_live_successor()
+        if successor is None:
+            self.table = []
+            return
+        new_table: List[Tuple[str, float]] = []
+        current = successor
+        current_value = None
+        for entry in self.ring.succ_list:
+            if entry.address == successor:
+                current_value = entry.value
+                break
+        for level in range(self.config.router_table_size):
+            if current is None or current == self.node.address:
+                break
+            new_table.append((current, current_value))
+            try:
+                response = yield self.node.call(
+                    current, "route_table_entry", {"level": level}
+                )
+            except RpcError:
+                break
+            next_address = response.get("address")
+            if next_address is None or next_address == self.node.address:
+                break
+            current = next_address
+            current_value = response.get("value")
+        self.table = new_table
+
+    # ------------------------------------------------------------------ routing
+    def find_responsible(self, key: float, max_hops: int = 512):
+        """Generator: route to the responsible peer using the pointer table.
+
+        Jumps to the farthest known pointer that does not overshoot the key,
+        then continues from that peer's perspective (iterative routing); falls
+        back to successor-by-successor walking when the table is empty or
+        stale.
+        """
+        if self._local_owner(key):
+            self._record_route(key, 0, self.node.address)
+            return self.node.address
+
+        hops = 0
+        current = self._best_jump(key) or self.ring.first_live_successor()
+        visited = set()
+        while current is not None and hops < max_hops:
+            hops += 1
+            try:
+                probe = yield self.node.call(current, "ds_probe", {"key": key})
+            except RpcError:
+                current = self.ring.first_live_successor()
+                continue
+            if probe.get("owns"):
+                self._record_route(key, hops, current)
+                return current
+            if current in visited:
+                # We are looping (stale ranges); fall back to a linear walk.
+                break
+            visited.add(current)
+            current = probe.get("successor")
+        # Fallback: plain successor walk from our own position.
+        result = yield from super().find_responsible(key, max_hops=max_hops)
+        return result
+
+    def _best_jump(self, key: float) -> Optional[str]:
+        """The farthest table pointer that does not pass the target key."""
+        own_value = self.ring.value
+        best: Optional[str] = None
+        best_distance = -1.0
+        for address, value in self.table:
+            if value is None or address == self.node.address:
+                continue
+            distance = self._clockwise(own_value, value)
+            target_distance = self._clockwise(own_value, key)
+            if distance <= target_distance and distance > best_distance:
+                best = address
+                best_distance = distance
+        return best
+
+    def _clockwise(self, start: float, end: float) -> float:
+        """Clockwise distance from ``start`` to ``end`` on the key space."""
+        if end >= start:
+            return end - start
+        return self.config.key_space - start + end

@@ -1,0 +1,62 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates its protocols on a real 30-peer distributed deployment.
+This package provides the substitute substrate: a deterministic, seeded
+discrete-event simulator in which every peer runs as a cooperative process,
+messages experience configurable latency, and read/write locks are simulated
+objects with FIFO wait queues.
+
+The public surface is:
+
+* :class:`~repro.sim.engine.Simulator` -- the event loop.
+* :class:`~repro.sim.engine.Event`, :class:`~repro.sim.engine.Timeout`,
+  :class:`~repro.sim.engine.Process` -- the primitives protocol code yields on.
+* :class:`~repro.sim.locks.RWLock` -- simulated read/write lock.
+* :class:`~repro.sim.network.Network` -- latency/loss model and RPC transport.
+* :class:`~repro.sim.node.Node` -- base class for simulated peers.
+* :class:`~repro.sim.randomness.RngStreams` -- named, seeded RNG streams.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    ProcessKilled,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.sim.locks import RWLock
+from repro.sim.network import (
+    Network,
+    NetworkConfig,
+    RpcError,
+    RpcRequest,
+    RpcTimeout,
+    RpcUnreachable,
+)
+from repro.sim.node import Node
+from repro.sim.randomness import RngStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Network",
+    "NetworkConfig",
+    "Node",
+    "Process",
+    "ProcessKilled",
+    "RWLock",
+    "RngStreams",
+    "RpcError",
+    "RpcRequest",
+    "RpcTimeout",
+    "RpcUnreachable",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]

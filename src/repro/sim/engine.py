@@ -1,0 +1,403 @@
+"""Generator-based discrete-event simulation engine.
+
+The engine follows the classic "process interaction" style popularised by
+SimPy, but is intentionally small and dependency free.  Protocol code is
+written as plain Python generators that ``yield`` :class:`Event` objects; the
+engine resumes a generator when the event it is waiting on triggers.
+
+Design notes
+------------
+* Time is a float in *simulated seconds*.  All experiments in this repository
+  interpret it as wall-clock seconds on the paper's LAN cluster.
+* The event queue is a binary heap keyed on ``(time, sequence)`` so that events
+  scheduled for the same instant fire in scheduling order (deterministic).
+* Processes can be interrupted (used to model peer failures): an
+  :class:`Interrupt` exception is thrown into the generator at its current
+  suspension point.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation primitives."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that has been interrupted (e.g. its peer failed).
+
+    The ``cause`` attribute carries an arbitrary, caller-supplied reason.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessKilled(Interrupt):
+    """Interrupt variant used when a node fails and kills its processes."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *untriggered*.  Calling :meth:`succeed` or :meth:`fail`
+    triggers it exactly once; the simulator then runs all registered callbacks
+    at the current simulation time.  Waiting on an already triggered event
+    resumes the waiter immediately (at the same timestamp).
+    """
+
+    __slots__ = ("sim", "callbacks", "_triggered", "_ok", "_value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._ok = True
+        self._value: Any = None
+
+    # -- inspection -------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already fired."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event fired successfully (vs. with an exception)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The payload of a successful event, or the exception of a failure."""
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value`` as its payload."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._queue_callbacks(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure; waiters have ``exception`` thrown in."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._queue_callbacks(self)
+        return self
+
+    # -- plumbing ----------------------------------------------------------
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._triggered:
+            # Already fired: run the callback at the current time.
+            self.sim._schedule(0.0, lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6f}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        sim._schedule(delay, lambda: self.succeed(value))
+
+
+class AnyOf(Event):
+    """Fires when the *first* of the given events fires.
+
+    The payload is a ``(index, value)`` tuple identifying which event won.  If
+    the winning event failed, this condition fails with the same exception.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, event in enumerate(self.events):
+            event._add_callback(self._make_callback(index))
+
+    def _make_callback(self, index: int) -> Callable[[Event], None]:
+        def _on_trigger(event: Event) -> None:
+            if self._triggered:
+                return
+            if event.ok:
+                self.succeed((index, event.value))
+            else:
+                self.fail(event.value)
+
+        return _on_trigger
+
+
+class AllOf(Event):
+    """Fires when *all* of the given events have fired successfully.
+
+    The payload is the list of event values in the original order.  The first
+    failing event fails the condition.
+    """
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            event._add_callback(self._on_trigger)
+
+    def _on_trigger(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([child.value for child in self.events])
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running generator.  Also an event that fires when the generator ends.
+
+    The generator yields :class:`Event` objects.  When a yielded event fires,
+    the generator is resumed with the event's value (or has the event's
+    exception thrown into it).  The value returned by the generator becomes the
+    process event's payload, so processes can be composed by yielding other
+    processes.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on", "_alive")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError("Process requires a generator")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        self._alive = True
+        # Start the process at the current simulation time.
+        sim._schedule(0.0, lambda: self._resume(None))
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether the generator has not yet finished."""
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its suspension point.
+
+        Interrupting a finished process is a no-op (peers may fail after their
+        handlers complete).
+        """
+        if not self._alive:
+            return
+        exception = cause if isinstance(cause, Interrupt) else Interrupt(cause)
+        self._waiting_on = None
+        self.sim._schedule(0.0, lambda: self._throw(exception))
+
+    # -- stepping ----------------------------------------------------------
+    def _resume(self, trigger: Optional[Event]) -> None:
+        if not self._alive:
+            return
+        if trigger is not None and self._waiting_on is not trigger:
+            # Stale wakeup: the process was interrupted (or already resumed)
+            # while this event was pending.
+            return
+        self._waiting_on = None
+        if trigger is None or trigger.ok:
+            value = None if trigger is None else trigger.value
+            self._step(lambda: self.generator.send(value))
+        else:
+            exception = trigger.value
+            self._step(lambda: self.generator.throw(exception))
+
+    def _throw(self, exception: BaseException) -> None:
+        if not self._alive:
+            return
+        self._step(lambda: self.generator.throw(exception))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self._finish(value=stop.value, error=None)
+            return
+        except Interrupt as interrupt:
+            # An uncaught interrupt terminates the process quietly: this is the
+            # normal way a failed peer's handlers disappear.
+            self._finish(value=interrupt, error=None)
+            return
+        except Exception as error:
+            self._finish(value=None, error=error)
+            return
+        if not isinstance(target, Event):
+            self._finish(
+                value=None,
+                error=SimulationError(
+                    f"process {self.name!r} yielded {target!r}, expected an Event"
+                ),
+            )
+            return
+        self._waiting_on = target
+        target._add_callback(self._resume)
+
+    def _finish(self, value: Any, error: Optional[BaseException]) -> None:
+        self._alive = False
+        self._waiting_on = None
+        if self._triggered:
+            return
+        if error is None:
+            self.succeed(value)
+        else:
+            self.fail(error)
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.process(some_generator())
+        sim.run(until=100.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._running = False
+
+    # -- time --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factories ---------------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start ``generator`` as a :class:`Process`."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Create a condition firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Create a condition firing when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, delay: float, action: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, action))
+
+    def _queue_callbacks(self, event: Event) -> None:
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            self._schedule(0.0, lambda cb=callback: cb(event))
+
+    # -- execution ---------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        Returns the simulation time at which execution stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        try:
+            while self._queue:
+                time, _seq, action = self._queue[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = time
+                action()
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until(self, event: Event, timeout: float = 1e9) -> bool:
+        """Process queued events until ``event`` triggers (or ``timeout`` elapses).
+
+        Unlike :meth:`run`, this stops as soon as the event fires, so simulated
+        time only advances as far as needed.  Returns whether the event fired.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        deadline = self._now + timeout
+        self._running = True
+        try:
+            while not event.triggered and self._queue:
+                time, _seq, action = self._queue[0]
+                if time > deadline:
+                    break
+                heapq.heappop(self._queue)
+                self._now = time
+                action()
+        finally:
+            self._running = False
+        return event.triggered
+
+    def run_process(self, generator: ProcessGenerator, timeout: float = 1e9) -> Any:
+        """Convenience: run ``generator`` to completion and return its value.
+
+        Simulated time advances only as far as the process needs (background
+        periodic activity scheduled further in the future is left pending).
+        Raises the process's exception if it failed, or :class:`SimulationError`
+        if it did not finish within ``timeout`` simulated seconds.
+        """
+        proc = self.process(generator)
+        self.run_until(proc, timeout=timeout)
+        if not proc.triggered:
+            raise SimulationError("process did not finish within the timeout")
+        if not proc.ok:
+            raise proc.value
+        return proc.value

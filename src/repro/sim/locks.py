@@ -1,0 +1,110 @@
+"""Simulated read/write locks.
+
+The paper's algorithms (Algorithms 1-5 and the appendix pseudocode) acquire
+read and write locks on a peer's ``succList`` and Data Store ``range``.  In the
+simulator these are cooperative locks: ``acquire_*`` returns an
+:class:`~repro.sim.engine.Event` that the calling process yields on and that
+fires once the lock is granted.
+
+Fairness is strict FIFO: a waiting writer blocks later readers, which mirrors
+the blocking behaviour the paper relies on (a scan holding a read lock on a
+range delays a concurrent split/merge, and vice versa).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+_READ = "read"
+_WRITE = "write"
+
+
+class RWLock:
+    """A reader/writer lock with FIFO queuing for simulated processes."""
+
+    def __init__(self, sim: Simulator, name: str = "lock"):
+        self.sim = sim
+        self.name = name
+        self._readers = 0
+        self._writer = False
+        self._waiters: Deque[Tuple[str, Event]] = deque()
+
+    # -- inspection --------------------------------------------------------
+    @property
+    def readers(self) -> int:
+        """Number of read holders currently inside the lock."""
+        return self._readers
+
+    @property
+    def write_held(self) -> bool:
+        """Whether a writer currently holds the lock."""
+        return self._writer
+
+    @property
+    def locked(self) -> bool:
+        """Whether any holder (reader or writer) is inside the lock."""
+        return self._writer or self._readers > 0
+
+    @property
+    def waiting(self) -> int:
+        """Number of queued acquisition requests."""
+        return len(self._waiters)
+
+    # -- acquisition -------------------------------------------------------
+    def acquire_read(self) -> Event:
+        """Request shared access; the returned event fires when granted."""
+        event = self.sim.event()
+        self._waiters.append((_READ, event))
+        self._grant()
+        return event
+
+    def acquire_write(self) -> Event:
+        """Request exclusive access; the returned event fires when granted."""
+        event = self.sim.event()
+        self._waiters.append((_WRITE, event))
+        self._grant()
+        return event
+
+    # -- release -----------------------------------------------------------
+    def release_read(self) -> None:
+        """Release one shared hold."""
+        if self._readers <= 0:
+            raise SimulationError(f"{self.name}: release_read without a holder")
+        self._readers -= 1
+        self._grant()
+
+    def release_write(self) -> None:
+        """Release the exclusive hold."""
+        if not self._writer:
+            raise SimulationError(f"{self.name}: release_write without a holder")
+        self._writer = False
+        self._grant()
+
+    # -- internals ---------------------------------------------------------
+    def _grant(self) -> None:
+        while self._waiters:
+            kind, event = self._waiters[0]
+            if kind == _WRITE:
+                if self._writer or self._readers:
+                    return
+                self._waiters.popleft()
+                self._writer = True
+                event.succeed(self)
+                return
+            # kind == _READ: grant as long as no writer holds the lock.  A
+            # queued writer blocks this reader (strict FIFO), which prevents
+            # writer starvation.
+            if self._writer:
+                return
+            self._waiters.popleft()
+            self._readers += 1
+            event.succeed(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RWLock {self.name} readers={self._readers} "
+            f"writer={self._writer} waiting={len(self._waiters)}>"
+        )

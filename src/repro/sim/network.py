@@ -1,0 +1,202 @@
+"""Message transport with latency, loss, and RPC semantics.
+
+Peers in the paper communicate over a LAN with "known bounded delay"
+(Section 2.1).  The :class:`Network` models that channel:
+
+* every message experiences a latency drawn uniformly from
+  ``[latency_min, latency_max]`` seconds;
+* messages may be dropped with probability ``drop_probability``;
+* a request to a failed (or departed) peer is silently lost, so the caller
+  observes an :class:`RpcTimeout` after ``rpc_timeout`` seconds -- this is how
+  failure detection costs enter the latency measurements (Figure 23).
+
+The only communication primitive higher layers use is :meth:`Network.call`:
+request/response RPC addressed by peer address and handler name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from repro.sim.engine import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.node import Node
+
+
+class RpcError(Exception):
+    """Base class for RPC failures observed by callers."""
+
+
+class RpcTimeout(RpcError):
+    """The callee did not answer within the RPC timeout.
+
+    Seen when the callee has failed, left the system, or the request/reply was
+    dropped by the network.
+    """
+
+
+class RpcUnreachable(RpcError):
+    """The destination address was never registered with the network."""
+
+
+class RpcRemoteError(RpcError):
+    """The remote handler raised an exception; its repr is carried along."""
+
+
+@dataclass
+class NetworkConfig:
+    """Tunable parameters of the message channel.
+
+    The defaults approximate the paper's LAN cluster: sub-millisecond to a few
+    milliseconds per message, no loss.
+    """
+
+    latency_min: float = 0.0005
+    latency_max: float = 0.003
+    drop_probability: float = 0.0
+    rpc_timeout: float = 0.5
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for physically meaningless settings."""
+        if self.latency_min < 0 or self.latency_max < self.latency_min:
+            raise ValueError("latency bounds must satisfy 0 <= min <= max")
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ValueError("drop_probability must be in [0, 1)")
+        if self.rpc_timeout <= 0:
+            raise ValueError("rpc_timeout must be positive")
+
+
+@dataclass
+class RpcRequest:
+    """A request in flight.  Exposed to handlers for tracing/diagnostics."""
+
+    source: str
+    destination: str
+    method: str
+    payload: Any
+    request_id: int
+
+
+@dataclass
+class NetworkStats:
+    """Counters used by the experiment harness."""
+
+    messages_sent: int = 0
+    messages_dropped: int = 0
+    rpc_calls: int = 0
+    rpc_timeouts: int = 0
+    per_method: Dict[str, int] = field(default_factory=dict)
+
+    def record_call(self, method: str) -> None:
+        self.rpc_calls += 1
+        self.per_method[method] = self.per_method.get(method, 0) + 1
+
+
+class Network:
+    """Connects :class:`~repro.sim.node.Node` instances by address."""
+
+    def __init__(self, sim: Simulator, rng, config: Optional[NetworkConfig] = None):
+        self.sim = sim
+        self.rng = rng
+        self.config = config or NetworkConfig()
+        self.config.validate()
+        self.stats = NetworkStats()
+        self._nodes: Dict[str, "Node"] = {}
+        self._next_request_id = 0
+
+    # -- membership --------------------------------------------------------
+    def register(self, node: "Node") -> None:
+        """Attach ``node`` so other peers can address it."""
+        self._nodes[node.address] = node
+
+    def unregister(self, address: str) -> None:
+        """Detach the node at ``address`` (it becomes unreachable)."""
+        self._nodes.pop(address, None)
+
+    def node(self, address: str) -> Optional["Node"]:
+        """Return the node registered at ``address``, if any."""
+        return self._nodes.get(address)
+
+    def known_addresses(self) -> list[str]:
+        """Addresses of all registered nodes (dead or alive)."""
+        return list(self._nodes)
+
+    # -- latency model -----------------------------------------------------
+    def _latency(self) -> float:
+        low, high = self.config.latency_min, self.config.latency_max
+        if high <= low:
+            return low
+        return self.rng.uniform(low, high)
+
+    def _dropped(self) -> bool:
+        prob = self.config.drop_probability
+        return prob > 0 and self.rng.random() < prob
+
+    # -- RPC ----------------------------------------------------------------
+    def call(
+        self,
+        source: str,
+        destination: str,
+        method: str,
+        payload: Any = None,
+        timeout: Optional[float] = None,
+    ) -> Event:
+        """Issue an RPC and return the event carrying the reply.
+
+        The event succeeds with the handler's return value, or fails with an
+        :class:`RpcError` subclass.  Callers are simulated processes and simply
+        ``yield`` the returned event.
+        """
+        timeout = self.config.rpc_timeout if timeout is None else timeout
+        result = self.sim.event()
+        self.stats.record_call(method)
+        self._next_request_id += 1
+        request = RpcRequest(
+            source=source,
+            destination=destination,
+            method=method,
+            payload=payload,
+            request_id=self._next_request_id,
+        )
+
+        def _expire() -> None:
+            if not result.triggered:
+                self.stats.rpc_timeouts += 1
+                result.fail(RpcTimeout(f"{method} -> {destination} timed out"))
+
+        self.sim._schedule(timeout, _expire)
+        self._transmit_request(request, result)
+        return result
+
+    # -- internals ----------------------------------------------------------
+    def _transmit_request(self, request: RpcRequest, result: Event) -> None:
+        self.stats.messages_sent += 1
+        if self._dropped():
+            self.stats.messages_dropped += 1
+            return
+        self.sim._schedule(self._latency(), lambda: self._deliver_request(request, result))
+
+    def _deliver_request(self, request: RpcRequest, result: Event) -> None:
+        node = self._nodes.get(request.destination)
+        if node is None or not node.alive:
+            # A dead or missing peer never answers; the caller times out.
+            return
+        node._handle_rpc(request, lambda value, error: self._transmit_reply(result, value, error))
+
+    def _transmit_reply(self, result: Event, value: Any, error: Optional[BaseException]) -> None:
+        self.stats.messages_sent += 1
+        if self._dropped():
+            self.stats.messages_dropped += 1
+            return
+
+        def _deliver() -> None:
+            if result.triggered:
+                return
+            if error is None:
+                result.succeed(value)
+            else:
+                result.fail(error)
+
+        self.sim._schedule(self._latency(), _deliver)

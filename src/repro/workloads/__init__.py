@@ -1,0 +1,17 @@
+"""Workload generation: item streams, churn schedules and query mixes."""
+
+from repro.workloads.items import ItemWorkload, skewed_keys, uniform_keys
+from repro.workloads.churn import ChurnEvent, ChurnSchedule, failure_schedule, join_schedule
+from repro.workloads.queries import QueryWorkload, range_for_hops
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
+    "ItemWorkload",
+    "QueryWorkload",
+    "failure_schedule",
+    "join_schedule",
+    "range_for_hops",
+    "skewed_keys",
+    "uniform_keys",
+]

@@ -1,0 +1,74 @@
+"""Churn schedules: peer arrivals, graceful departures and failures.
+
+The paper's evaluation (Section 6.1) adds one peer every three seconds in the
+fail-free mode and additionally kills peers at a configurable rate in the
+failure mode (Figure 23 sweeps up to 12 failures per 100 seconds).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+JOIN = "join"
+FAIL = "fail"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled membership change."""
+
+    time: float
+    kind: str  # JOIN or FAIL
+
+    def __post_init__(self):
+        if self.kind not in (JOIN, FAIL):
+            raise ValueError(f"unknown churn event kind {self.kind!r}")
+
+
+@dataclass
+class ChurnSchedule:
+    """An ordered list of churn events."""
+
+    events: List[ChurnEvent]
+
+    def __iter__(self) -> Iterator[ChurnEvent]:
+        return iter(sorted(self.events, key=lambda event: event.time))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last scheduled event."""
+        return max((event.time for event in self.events), default=0.0)
+
+    def merged_with(self, other: "ChurnSchedule") -> "ChurnSchedule":
+        """Combine two schedules."""
+        return ChurnSchedule(self.events + other.events)
+
+
+def join_schedule(count: int, period: float = 3.0, start: float = 0.0) -> ChurnSchedule:
+    """``count`` peer arrivals, one every ``period`` seconds (paper default 3 s)."""
+    return ChurnSchedule(
+        [ChurnEvent(start + index * period, JOIN) for index in range(count)]
+    )
+
+
+def failure_schedule(
+    rate_per_100s: float,
+    duration: float,
+    rng: random.Random,
+    start: float = 0.0,
+) -> ChurnSchedule:
+    """Peer failures at ``rate_per_100s`` failures per 100 seconds over ``duration``.
+
+    Failure instants are spread uniformly at random over the window, matching
+    the paper's "failure mode" (Figure 23's x-axis is failures per 100 s).
+    """
+    if rate_per_100s <= 0 or duration <= 0:
+        return ChurnSchedule([])
+    count = max(0, int(round(rate_per_100s * duration / 100.0)))
+    times = sorted(rng.uniform(start, start + duration) for _ in range(count))
+    return ChurnSchedule([ChurnEvent(time, FAIL) for time in times])

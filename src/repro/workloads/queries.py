@@ -1,0 +1,64 @@
+"""Range-query workload generation.
+
+Figure 21 buckets range searches by the number of ring hops they take, so the
+generator here can aim a query at a desired hop count by sizing the queried
+interval relative to the average per-peer range.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+
+def range_for_hops(
+    hops: int,
+    peer_values: Sequence[float],
+    key_space: float,
+    rng: random.Random,
+) -> Tuple[float, float]:
+    """A query interval ``(lb, ub]`` expected to span roughly ``hops`` peers.
+
+    ``peer_values`` are the current ring values (range upper bounds) of the
+    live peers; the interval is anchored at a random peer boundary and extended
+    across ``hops`` consecutive ranges.
+    """
+    if not peer_values:
+        raise ValueError("need at least one peer value")
+    ordered = sorted(peer_values)
+    count = len(ordered)
+    start_index = rng.randrange(count)
+    end_index = (start_index + hops) % count
+    lb = ordered[start_index]
+    ub = ordered[end_index]
+    if hops >= count:
+        # The whole ring: fall back to (almost) the full key space.
+        return (0.0, key_space)
+    if ub <= lb:
+        # The interval would wrap; shift the anchor so it stays linear.
+        lb = ordered[0]
+        ub = ordered[min(hops, count - 1)]
+    return (lb, ub)
+
+
+@dataclass
+class QueryWorkload:
+    """A batch of range queries with a given selectivity over the key space."""
+
+    count: int
+    selectivity: float
+    key_space: float
+    seed: int = 0
+
+    def queries(self) -> Iterator[Tuple[float, float]]:
+        """Yield ``(lb, ub]`` pairs covering ``selectivity`` of the key space each."""
+        rng = random.Random(self.seed)
+        width = self.key_space * self.selectivity
+        for _ in range(self.count):
+            lb = rng.uniform(0.0, self.key_space - width)
+            yield (lb, lb + width)
+
+    def as_list(self) -> List[Tuple[float, float]]:
+        """All queries as a list."""
+        return list(self.queries())

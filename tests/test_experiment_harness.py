@@ -1,0 +1,112 @@
+"""Tests for the experiment harness and (tiny-scale) figure reproductions."""
+
+import pytest
+
+from repro.harness.experiment import ClusterExperiment, ExperimentSettings
+from repro.harness.figures import (
+    FigureResult,
+    ablation_availability,
+    figure_19,
+    figure_21,
+    figure_22,
+)
+from repro.index.config import default_config
+
+
+def make_experiment(seed=101, peers=8, items=50, **overrides):
+    config = default_config(seed=seed, **overrides)
+    settings = ExperimentSettings(peers=peers, items=items, seed=seed, settle_time=15.0)
+    return ClusterExperiment(config, settings)
+
+
+def test_build_creates_ring_and_stores_all_items():
+    experiment = make_experiment()
+    index = experiment.build()
+    assert len(index.ring_members()) >= 3
+    assert index.total_stored_items() == len(experiment.inserted_keys)
+
+
+def test_settings_scaled():
+    settings = ExperimentSettings(peers=30, items=180)
+    scaled = settings.scaled(0.5)
+    assert scaled.peers == 15
+    assert scaled.items == 90
+
+
+def test_run_query_outcome_fields():
+    experiment = make_experiment(seed=102)
+    experiment.build()
+    keys = experiment.inserted_keys
+    outcome = experiment.run_query(keys[3], keys[20])
+    assert outcome.complete
+    assert outcome.hops >= 1
+    assert outcome.keys == experiment.expected_keys(keys[3], keys[20])
+    assert outcome.record is not None
+
+
+def test_inject_failures_kills_ring_members():
+    experiment = make_experiment(seed=103)
+    experiment.build()
+    before = len(experiment.index.ring_members())
+    injected = experiment.inject_failures(rate_per_100s=20.0, duration=50.0)
+    assert injected >= before / 10
+    assert len(experiment.index.ring_members()) <= before
+
+
+def test_delete_items_forces_merges():
+    experiment = make_experiment(seed=104)
+    experiment.build()
+    keys = experiment.inserted_keys
+    experiment.delete_items(keys[: int(len(keys) * 0.8)], rate=4.0)
+    experiment.settle(25.0)
+    assert experiment.index.metrics.count("merge") >= 1
+
+
+def test_run_queries_by_hops_buckets_results():
+    experiment = make_experiment(seed=105)
+    experiment.build()
+    outcomes = experiment.run_queries_by_hops([1, 3], queries_per_target=2)
+    assert outcomes
+    for hops, results in outcomes.items():
+        assert hops >= 0
+        assert all(result.complete for result in results)
+
+
+# --------------------------------------------------------------------------- figure smoke tests
+def test_figure_result_table_and_series():
+    result = FigureResult(
+        figure="F", description="d", headers=["x", "y"], rows=[(1, 2.0), (3, 4.0)]
+    )
+    assert "F: d" in result.as_table()
+    assert result.series() == {1: 2.0, 3: 4.0}
+
+
+def test_figure_19_shape_tiny():
+    result = figure_19(succ_lengths=(2, 6), peers=9, items=55, seed=201)
+    series_naive = {row[0]: row[1] for row in result.rows}
+    series_pepper = {row[0]: row[2] for row in result.rows}
+    assert set(series_naive) == {2, 6}
+    # PEPPER pays more than naive, and grows with the successor-list length.
+    assert series_pepper[2] > series_naive[2]
+    assert series_pepper[6] > series_pepper[2]
+
+
+def test_figure_21_scan_matches_naive_tiny():
+    result = figure_21(hop_targets=(1, 3), peers=9, items=55, queries_per_target=2, seed=202)
+    assert result.rows
+    for _hops, scan_time, naive_time in result.rows:
+        assert scan_time == pytest.approx(naive_time, rel=2.0, abs=0.05)
+
+
+def test_figure_22_safe_leave_much_slower_than_naive_tiny():
+    result = figure_22(succ_lengths=(4,), peers=8, items=50, seed=203)
+    (_length, merge_time, safe_leave, naive_leave), = result.rows
+    assert merge_time > naive_leave
+    assert safe_leave > naive_leave
+    assert naive_leave < 0.01
+
+
+def test_ablation_availability_tiny():
+    result = ablation_availability(peers=8, items=45, seed=204)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["pepper"][2] == 0  # no lost items with the paper's protocols

@@ -1,0 +1,102 @@
+"""Tests for the Replication Manager: refresh, revive, tombstones, extra hop."""
+
+from tests.conftest import build_cluster
+
+
+def test_items_are_replicated_to_successors():
+    index, keys = build_cluster(seed=51, peers=8)
+    index.run(2 * index.config.replication_refresh_period)
+    replicated = set()
+    for peer in index.live_peers():
+        replicated.update(peer.replication.replica_keys())
+    # With replication factor 6 on a ~8-member ring every item has replicas.
+    assert set(keys) <= replicated
+
+
+def test_failed_peer_items_are_revived():
+    index, keys = build_cluster(seed=52, peers=8)
+    index.run(2 * index.config.replication_refresh_period)
+    victim = index.ring_members()[2]
+    lost_keys = set(victim.store.items.keys())
+    assert lost_keys
+    index.fail_peer(victim.address)
+    index.run(40.0)
+    stored = set()
+    for peer in index.ring_members():
+        stored.update(peer.store.items.keys())
+    assert lost_keys <= stored
+
+
+def test_two_failures_tolerated_with_default_replication():
+    index, keys = build_cluster(seed=53, peers=10)
+    index.run(2 * index.config.replication_refresh_period)
+    victims = index.ring_members()[2:4]
+    for victim in victims:
+        index.fail_peer(victim.address)
+    index.run(60.0)
+    stored = set()
+    for peer in index.ring_members():
+        stored.update(peer.store.items.keys())
+    assert stored == set(keys)
+
+
+def test_deleted_items_are_not_resurrected_by_failures():
+    index, keys = build_cluster(seed=54, peers=8)
+    index.run(2 * index.config.replication_refresh_period)
+    victims = keys[:5]
+    for key in victims:
+        assert index.delete_item_now(key)
+        index.run(0.5)
+    # Fail the peer that owned those keys' range: replicas elsewhere must not
+    # bring the deleted items back.
+    index.run(2.0)
+    owner = None
+    for peer in index.ring_members():
+        if any(peer.store.range.contains(k) for k in victims):
+            owner = peer
+            break
+    if owner is not None and len(index.ring_members()) > 2:
+        index.fail_peer(owner.address)
+    index.run(40.0)
+    stored = set()
+    for peer in index.ring_members():
+        stored.update(peer.store.items.keys())
+    assert not (stored & set(victims))
+
+
+def test_replica_counts_do_not_include_primaries():
+    index, keys = build_cluster(seed=55, peers=8)
+    index.run(2 * index.config.replication_refresh_period)
+    for peer in index.ring_members():
+        primaries = set(peer.store.items.keys())
+        replicas = set(peer.replication.replica_keys())
+        assert not (primaries & replicas)
+
+
+def test_clear_drops_replicas():
+    index, keys = build_cluster(seed=56, peers=6)
+    index.run(2 * index.config.replication_refresh_period)
+    peer = index.ring_members()[1]
+    assert peer.replication.replica_count() > 0
+    peer.replication.clear()
+    assert peer.replication.replica_count() == 0
+
+
+def test_tombstone_blocks_and_then_expires():
+    index, keys = build_cluster(seed=57, peers=6)
+    peer = index.ring_members()[1]
+    manager = peer.replication
+    skv = 4242.5
+    manager._tombstones[skv] = index.sim.now
+    assert manager._tombstoned(skv)
+    # After three refresh periods the tombstone expires automatically.
+    index.run(3 * index.config.replication_refresh_period + 1.0)
+    assert not manager._tombstoned(skv)
+
+
+def test_extra_hop_push_reports_acknowledgements():
+    index, keys = build_cluster(seed=58, peers=8)
+    index.run(2 * index.config.replication_refresh_period)
+    peer = index.ring_members()[2]
+    count = index.run_process(peer.replication.push_extra_hop())
+    assert count >= 1

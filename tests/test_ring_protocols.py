@@ -1,0 +1,327 @@
+"""Ring-level tests: Chord substrate, PEPPER insertSucc and availability-preserving leave."""
+
+import pytest
+
+from repro.core.pepper_ring import PepperRing
+from repro.core.correctness import (
+    check_consistent_successor_pointers,
+    check_ring_connectivity,
+)
+from repro.harness.metrics import Metrics
+from repro.index.config import default_config
+from repro.ring.chord import ChordRing, in_open_interval
+from repro.ring.entries import FREE, JOINED, LEAVING, SuccessorEntry
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import Node
+from repro.sim.randomness import RngStreams
+
+
+class RingPeer(Node):
+    """A bare node carrying only the ring component (for ring-level tests)."""
+
+    def __init__(self, sim, network, address, value, config, ring_class, metrics=None):
+        rng = RngStreams(config.seed).stream(f"ring:{address}")
+        super().__init__(sim, network, address, rng=rng)
+        self.ring = ring_class(self, value, config, metrics=metrics)
+
+
+class RingHarness:
+    """Builds and manipulates a ring of bare ring peers."""
+
+    def __init__(self, ring_class=PepperRing, metrics=None, **config_overrides):
+        self.config = default_config(**config_overrides)
+        self.sim = Simulator()
+        self.network = Network(self.sim, RngStreams(1).stream("net"), NetworkConfig())
+        self.metrics = metrics or Metrics()
+        self.ring_class = ring_class
+        self.peers = []
+
+    def bootstrap(self, value=1000.0):
+        peer = RingPeer(
+            self.sim, self.network, "n000", value, self.config, self.ring_class, self.metrics
+        )
+        peer.ring.create()
+        self.peers.append(peer)
+        return peer
+
+    def predecessor_for(self, value):
+        """The existing ring member that should precede ``value``."""
+        members = [p for p in self.peers if p.alive and p.ring.state == JOINED]
+        below = [p for p in members if p.ring.value < value]
+        if below:
+            return max(below, key=lambda p: p.ring.value)
+        return max(members, key=lambda p: p.ring.value)
+
+    def join_peer(self, value):
+        address = f"n{len(self.peers):03d}"
+        peer = RingPeer(
+            self.sim, self.network, address, value, self.config, self.ring_class, self.metrics
+        )
+        self.peers.append(peer)
+        predecessor = self.predecessor_for(value)
+        self.sim.run_process(peer.ring.join(predecessor.address), timeout=300.0)
+        return peer
+
+    def run(self, duration):
+        self.sim.run(until=self.sim.now + duration)
+
+    def live(self):
+        return [p for p in self.peers if p.alive]
+
+
+# --------------------------------------------------------------------------- helpers
+def test_in_open_interval_handles_wrap_and_degenerate():
+    assert in_open_interval(5.0, 1.0, 10.0)
+    assert not in_open_interval(1.0, 1.0, 10.0)
+    assert in_open_interval(0.5, 9.0, 2.0)  # wrapping interval
+    assert in_open_interval(9.5, 9.0, 2.0)
+    assert not in_open_interval(5.0, 9.0, 2.0)
+    assert in_open_interval(3.0, 7.0, 7.0)  # degenerate: whole ring minus endpoint
+    assert not in_open_interval(7.0, 7.0, 7.0)
+
+
+def test_successor_entry_wire_round_trip():
+    entry = SuccessorEntry("addr", 5.0, LEAVING, stabilized=True)
+    restored = SuccessorEntry.from_wire(entry.to_wire())
+    assert restored.address == "addr"
+    assert restored.value == 5.0
+    assert restored.state == LEAVING
+    assert restored.stabilized is False  # never trusted over the wire
+
+
+# --------------------------------------------------------------------------- bootstrap & joins
+def test_first_peer_points_at_itself():
+    harness = RingHarness()
+    first = harness.bootstrap()
+    assert first.ring.state == JOINED
+    assert first.ring.succ_list[0].address == first.address
+    assert first.ring.pred_address == first.address
+
+
+def test_sequential_joins_build_consistent_ring_pepper():
+    harness = RingHarness(ring_class=PepperRing)
+    harness.bootstrap(1000.0)
+    for value in (100.0, 300.0, 500.0, 700.0, 900.0):
+        harness.join_peer(value)
+        harness.run(1.0)
+    harness.run(3 * harness.config.stabilization_period)
+    assert check_consistent_successor_pointers(harness.live()).ok
+    assert check_ring_connectivity(harness.live()).ok
+
+
+def test_sequential_joins_build_connected_ring_naive():
+    harness = RingHarness(
+        ring_class=ChordRing, consistent_insert=False, safe_leave=False, proactive_nudge=False
+    )
+    harness.bootstrap(1000.0)
+    for value in (100.0, 300.0, 500.0, 700.0):
+        harness.join_peer(value)
+        harness.run(1.0)
+    harness.run(4 * harness.config.stabilization_period)
+    assert check_ring_connectivity(harness.live()).ok
+
+
+def test_pepper_join_keeps_pointers_consistent_immediately():
+    """Theorem 1: at no sampled instant do JOINED peers have missing pointers."""
+    harness = RingHarness(ring_class=PepperRing)
+    harness.bootstrap(1000.0)
+    for value in (200.0, 400.0, 600.0, 800.0):
+        harness.join_peer(value)
+        # No settling time: the new peer is JOINED, so pointers must already
+        # be consistent among JOINED peers.
+        result = check_consistent_successor_pointers(harness.live())
+        assert result.ok, result.violations
+
+
+def test_naive_join_leaves_window_of_inconsistency():
+    """Section 4.2.1: right after a naive insert some predecessor misses the new peer."""
+    harness = RingHarness(
+        ring_class=ChordRing, consistent_insert=False, proactive_nudge=False
+    )
+    harness.bootstrap(1000.0)
+    for value in (200.0, 400.0, 600.0, 800.0):
+        harness.join_peer(value)
+        harness.run(3 * harness.config.stabilization_period)
+    # Insert one more peer between 400 and 600 and check instantly, before any
+    # stabilization round can propagate it.
+    harness.join_peer(500.0)
+    result = check_consistent_successor_pointers(harness.live())
+    assert not result.ok
+
+
+def test_insert_succ_metric_recorded():
+    metrics = Metrics()
+    harness = RingHarness(ring_class=PepperRing, metrics=metrics)
+    harness.bootstrap(1000.0)
+    harness.join_peer(500.0)
+    harness.run(2.0)
+    assert metrics.count("insert_succ") == 1
+    assert metrics.mean("insert_succ") >= 0.0
+
+
+def test_insert_redirect_when_contacting_wrong_predecessor():
+    harness = RingHarness(ring_class=PepperRing)
+    harness.bootstrap(1000.0)
+    harness.join_peer(200.0)
+    harness.join_peer(600.0)
+    harness.run(8.0)
+    # Join a peer at 700 but deliberately contact the peer at 200: the ring
+    # must redirect the join towards the correct predecessor (600).
+    address = f"n{len(harness.peers):03d}"
+    peer = RingPeer(harness.sim, harness.network, address, 700.0, harness.config, PepperRing)
+    harness.peers.append(peer)
+    wrong_contact = next(p for p in harness.peers if p.ring.value == 200.0)
+    harness.sim.run_process(peer.ring.join(wrong_contact.address), timeout=300.0)
+    harness.run(3 * harness.config.stabilization_period)
+    assert peer.ring.state == JOINED
+    assert check_consistent_successor_pointers(harness.live()).ok
+
+
+# --------------------------------------------------------------------------- failures
+def test_failure_detection_repairs_ring():
+    harness = RingHarness(ring_class=PepperRing)
+    harness.bootstrap(1000.0)
+    for value in (200.0, 400.0, 600.0, 800.0):
+        harness.join_peer(value)
+        harness.run(1.0)
+    harness.run(8.0)
+    victim = next(p for p in harness.peers if p.ring.value == 400.0)
+    victim.fail()
+    harness.run(4 * harness.config.stabilization_period)
+    assert check_ring_connectivity(harness.live()).ok
+    assert check_consistent_successor_pointers(harness.live()).ok
+    # The failed peer must not appear in any live successor list any more.
+    for peer in harness.live():
+        assert all(entry.address != victim.address for entry in peer.ring.succ_list)
+
+
+def test_predecessor_failure_clears_pointer_and_recovers():
+    harness = RingHarness(ring_class=PepperRing)
+    harness.bootstrap(1000.0)
+    a = harness.join_peer(200.0)
+    b = harness.join_peer(500.0)
+    harness.run(10.0)
+    assert b.ring.pred_address == a.address
+    a.fail()
+    harness.run(4 * harness.config.predecessor_check_period)
+    assert b.ring.pred_address != a.address
+
+
+def test_ring_survives_k_minus_one_failures():
+    """With successor lists of length 4 the ring tolerates 3 simultaneous failures."""
+    harness = RingHarness(ring_class=PepperRing, successor_list_length=4)
+    harness.bootstrap(1000.0)
+    for value in (100.0, 250.0, 400.0, 550.0, 700.0, 850.0, 925.0):
+        harness.join_peer(value)
+        harness.run(1.0)
+    harness.run(12.0)
+    victims = [p for p in harness.peers if p.ring.value in (250.0, 400.0, 550.0)]
+    for victim in victims:
+        victim.fail()
+    harness.run(6 * harness.config.stabilization_period)
+    assert check_ring_connectivity(harness.live()).ok
+
+
+# --------------------------------------------------------------------------- leave
+def test_safe_leave_waits_for_acknowledgement():
+    harness = RingHarness(ring_class=PepperRing)
+    harness.bootstrap(1000.0)
+    for value in (200.0, 400.0, 600.0, 800.0):
+        harness.join_peer(value)
+        harness.run(1.0)
+    harness.run(10.0)
+    leaver = next(p for p in harness.peers if p.ring.value == 400.0)
+    duration = harness.sim.run_process(leaver.ring.leave(), timeout=300.0)
+    assert leaver.ring.state == FREE
+    assert duration < harness.config.leave_ack_timeout
+    harness.run(4 * harness.config.stabilization_period)
+    alive = [p for p in harness.live() if p is not leaver]
+    assert check_ring_connectivity(alive).ok
+
+
+def test_safe_leave_preserves_failure_tolerance():
+    """Section 5.1 (Figure 14): after a safe leave, one failure cannot disconnect the ring."""
+    harness = RingHarness(ring_class=PepperRing, successor_list_length=2)
+    harness.bootstrap(1000.0)
+    for value in (200.0, 400.0, 600.0, 800.0):
+        harness.join_peer(value)
+        harness.run(1.0)
+    harness.run(10.0)
+    leaver = next(p for p in harness.peers if p.ring.value == 400.0)
+    harness.sim.run_process(leaver.ring.leave(), timeout=300.0)
+    # Immediately afterwards (no stabilization rounds), fail the leaver's old successor.
+    victim = next(p for p in harness.peers if p.ring.value == 600.0)
+    victim.fail()
+    harness.run(4 * harness.config.stabilization_period)
+    alive = [p for p in harness.live() if p not in (leaver,)]
+    assert check_ring_connectivity(alive).ok
+
+
+def test_naive_leave_is_immediate():
+    harness = RingHarness(
+        ring_class=ChordRing, safe_leave=False, consistent_insert=False
+    )
+    harness.bootstrap(1000.0)
+    harness.join_peer(500.0)
+    harness.run(5.0)
+    leaver = harness.peers[1]
+    duration = harness.sim.run_process(leaver.ring.leave(), timeout=60.0)
+    assert duration == pytest.approx(0.0, abs=1e-6)
+    assert leaver.ring.state == FREE
+
+
+def test_leave_of_sole_companion_acks_immediately():
+    harness = RingHarness(ring_class=PepperRing)
+    harness.bootstrap(1000.0)
+    other = harness.join_peer(500.0)
+    harness.run(6.0)
+    duration = harness.sim.run_process(other.ring.leave(), timeout=120.0)
+    assert duration < 1.0
+
+
+# --------------------------------------------------------------------------- misc behaviour
+def test_value_update_propagates_to_neighbours():
+    harness = RingHarness(ring_class=PepperRing)
+    harness.bootstrap(1000.0)
+    a = harness.join_peer(200.0)
+    b = harness.join_peer(600.0)
+    harness.run(10.0)
+    a.ring.update_value(300.0)
+    harness.run(3 * harness.config.stabilization_period)
+    assert b.ring.pred_value == 300.0
+    entry = next(e for e in harness.peers[0].ring.succ_list if e.address == a.address)
+    assert entry.value == 300.0
+
+
+def test_free_peer_rejects_stabilization():
+    harness = RingHarness(ring_class=PepperRing)
+    harness.bootstrap(1000.0)
+    peer = harness.join_peer(500.0)
+    harness.run(6.0)
+    harness.sim.run_process(peer.ring.leave(), timeout=300.0)
+    harness.run(4 * harness.config.stabilization_period)
+    # The remaining member must have dropped every pointer to the departed peer.
+    survivor = harness.peers[0]
+    assert all(e.address != peer.address for e in survivor.ring.succ_list)
+
+
+def test_concurrent_inserts_at_same_predecessor_serialise():
+    """Two peers joining through the same predecessor both end up in the ring."""
+    harness = RingHarness(ring_class=PepperRing)
+    harness.bootstrap(1000.0)
+    harness.join_peer(200.0)
+    harness.run(8.0)
+    predecessor = harness.predecessor_for(500.0)
+    first = RingPeer(harness.sim, harness.network, "c001", 500.0, harness.config, PepperRing)
+    second = RingPeer(harness.sim, harness.network, "c002", 600.0, harness.config, PepperRing)
+    harness.peers.extend([first, second])
+    join_one = harness.sim.process(first.ring.join(predecessor.address))
+    join_two = harness.sim.process(second.ring.join(predecessor.address))
+    harness.run(6 * harness.config.stabilization_period)
+    assert join_one.triggered and join_one.ok
+    assert join_two.triggered and join_two.ok
+    assert first.ring.state == JOINED
+    assert second.ring.state == JOINED
+    harness.run(2 * harness.config.stabilization_period)
+    assert check_consistent_successor_pointers(harness.live()).ok

@@ -1,0 +1,77 @@
+"""Tests for the content routers (linear walk and hierarchical pointer table)."""
+
+import pytest
+
+from repro.router.hierarchical import HierarchicalRingRouter
+from repro.router.linear import LinearRouter
+from repro.router import make_router
+from tests.conftest import build_cluster
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return build_cluster(seed=61, peers=10)
+
+
+def test_make_router_selects_implementation():
+    index, _keys = build_cluster(seed=62, peers=3, keys=[200.0, 220.0, 240.0])
+    peer = index.ring_members()[0]
+    linear = make_router(peer, peer.ring, peer.store, index.config.copy(router="linear"))
+    hierarchical = make_router(peer, peer.ring, peer.store, index.config)
+    assert isinstance(linear, LinearRouter)
+    assert isinstance(hierarchical, HierarchicalRingRouter)
+
+
+def test_hierarchical_routing_finds_owner_for_every_key(cluster):
+    index, keys = cluster
+    start = index.ring_members()[0]
+    for key in keys[::5]:
+        found = index.run_process(start.router.find_responsible(key))
+        assert found is not None
+        assert index.peers[found].store.owns_key(key)
+
+
+def test_linear_routing_finds_owner(cluster):
+    index, keys = cluster
+    peer = index.ring_members()[0]
+    linear = LinearRouter(peer, peer.ring, peer.store, index.config)
+    for key in keys[::7]:
+        found = index.run_process(linear.find_responsible(key))
+        assert found is not None
+        assert index.peers[found].store.owns_key(key)
+
+
+def test_routing_from_every_member_converges(cluster):
+    index, keys = cluster
+    key = keys[len(keys) // 2]
+    owners = set()
+    for peer in index.ring_members():
+        owners.add(index.run_process(peer.router.find_responsible(key)))
+    assert len(owners) == 1
+
+
+def test_local_owner_short_circuits(cluster):
+    index, keys = cluster
+    key = keys[0]
+    owner = next(p for p in index.ring_members() if p.store.owns_key(key))
+    found = index.run_process(owner.router.find_responsible(key))
+    assert found == owner.address
+
+
+def test_router_table_is_populated_after_refresh(cluster):
+    index, _keys = cluster
+    index.run(2 * index.config.router_refresh_period)
+    populated = [p for p in index.ring_members() if p.router.table]
+    assert len(populated) >= len(index.ring_members()) // 2
+
+
+def test_routing_survives_a_failed_peer(cluster):
+    index, keys = cluster
+    victim = index.ring_members()[3]
+    index.fail_peer(victim.address)
+    index.run(20.0)
+    start = index.ring_members()[0]
+    key = keys[10]
+    found = index.run_process(start.router.find_responsible(key))
+    assert found is not None
+    assert index.peers[found].alive

@@ -1,0 +1,324 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(5.0)
+        fired.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_run_until_limit_stops_early():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100.0)
+
+    sim.process(proc())
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def make(delay, label):
+        def proc():
+            yield sim.timeout(delay)
+            order.append(label)
+
+        return proc()
+
+    sim.process(make(3.0, "c"))
+    sim.process(make(1.0, "a"))
+    sim.process(make(2.0, "b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def make(label):
+        def proc():
+            yield sim.timeout(1.0)
+            order.append(label)
+
+        return proc()
+
+    for label in ("first", "second", "third"):
+        sim.process(make(label))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_event_succeed_carries_value():
+    sim = Simulator()
+    event = sim.event()
+    seen = []
+
+    def proc():
+        value = yield event
+        seen.append(value)
+
+    sim.process(proc())
+    sim._schedule(1.0, lambda: event.succeed("payload"))
+    sim.run()
+    assert seen == ["payload"]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(SimulationError):
+        event.fail("not an exception")
+
+
+def test_event_failure_raises_in_waiter():
+    sim = Simulator()
+    event = sim.event()
+    caught = []
+
+    def proc():
+        try:
+            yield event
+        except ValueError as error:
+            caught.append(str(error))
+
+    sim.process(proc())
+    sim._schedule(0.5, lambda: event.fail(ValueError("boom")))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_waiting_on_triggered_event_resumes_immediately():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed("early")
+    seen = []
+
+    def proc():
+        value = yield event
+        seen.append((sim.now, value))
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [(0.0, "early")]
+
+
+def test_process_return_value_becomes_event_value():
+    sim = Simulator()
+
+    def inner():
+        yield sim.timeout(1.0)
+        return 42
+
+    def outer():
+        value = yield sim.process(inner())
+        return value * 2
+
+    result = sim.run_process(outer())
+    assert result == 84
+
+
+def test_run_process_stops_at_completion_not_timeout():
+    sim = Simulator()
+
+    def background():
+        while True:
+            yield sim.timeout(10.0)
+
+    def quick():
+        yield sim.timeout(1.0)
+        return "done"
+
+    sim.process(background())
+    result = sim.run_process(quick(), timeout=1000.0)
+    assert result == "done"
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_run_process_raises_process_exception():
+    sim = Simulator()
+
+    def failing():
+        yield sim.timeout(0.1)
+        raise RuntimeError("inner failure")
+
+    with pytest.raises(RuntimeError, match="inner failure"):
+        sim.run_process(failing())
+
+
+def test_run_process_timeout_raises():
+    sim = Simulator()
+
+    def never():
+        yield sim.event()  # never triggered
+
+    with pytest.raises(SimulationError):
+        sim.run_process(never(), timeout=5.0)
+
+
+def test_process_yielding_non_event_fails():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    proc = sim.process(bad())
+    sim.run()
+    assert proc.triggered and not proc.ok
+    assert isinstance(proc.value, SimulationError)
+
+
+def test_interrupt_terminates_waiting_process():
+    sim = Simulator()
+    progressed = []
+
+    def proc():
+        yield sim.timeout(100.0)
+        progressed.append("should not happen")
+
+    process = sim.process(proc())
+    sim._schedule(1.0, lambda: process.interrupt("killed"))
+    sim.run()
+    assert progressed == []
+    assert process.triggered
+    assert not process.alive
+
+
+def test_interrupt_can_be_caught():
+    sim = Simulator()
+    caught = []
+
+    def proc():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            caught.append(interrupt.cause)
+
+    process = sim.process(proc())
+    sim._schedule(2.0, lambda: process.interrupt("reason"))
+    sim.run()
+    assert caught == ["reason"]
+
+
+def test_interrupting_finished_process_is_noop():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+
+    process = sim.process(proc())
+    sim.run()
+    process.interrupt("late")  # must not raise
+    sim.run()
+    assert process.triggered
+
+
+def test_any_of_returns_first_winner():
+    sim = Simulator()
+
+    def proc():
+        first = sim.timeout(5.0, value="slow")
+        second = sim.timeout(1.0, value="fast")
+        index, value = yield sim.any_of([first, second])
+        return index, value
+
+    assert sim.run_process(proc()) == (1, "fast")
+
+
+def test_any_of_requires_events():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        AnyOf(sim, [])
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+
+    def proc():
+        events = [sim.timeout(3.0, "c"), sim.timeout(1.0, "a"), sim.timeout(2.0, "b")]
+        values = yield sim.all_of(events)
+        return values
+
+    assert sim.run_process(proc()) == ["c", "a", "b"]
+
+
+def test_all_of_empty_completes_immediately():
+    sim = Simulator()
+    condition = AllOf(sim, [])
+    assert condition.triggered
+    assert condition.value == []
+
+
+def test_stale_wakeup_after_interrupt_is_ignored():
+    """A pending event firing after its waiter was interrupted must not resume it."""
+    sim = Simulator()
+    steps = []
+
+    def proc():
+        try:
+            yield sim.timeout(10.0)
+        except Interrupt:
+            steps.append("interrupted")
+            yield sim.timeout(50.0)
+            steps.append("second wait done")
+
+    process = sim.process(proc())
+    sim._schedule(1.0, lambda: process.interrupt())
+    sim.run()
+    assert steps == ["interrupted", "second wait done"]
+
+
+def test_nested_run_rejected():
+    sim = Simulator()
+
+    def proc():
+        sim.run()
+        yield sim.timeout(1.0)
+
+    process = sim.process(proc())
+    sim.run()
+    assert not process.ok
+    assert isinstance(process.value, SimulationError)

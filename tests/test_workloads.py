@@ -1,0 +1,111 @@
+"""Tests for workload generators (items, churn, queries)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.churn import FAIL, JOIN, ChurnEvent, ChurnSchedule, failure_schedule, join_schedule
+from repro.workloads.items import ItemWorkload, skewed_keys, uniform_keys
+from repro.workloads.queries import QueryWorkload, range_for_hops
+
+
+def test_uniform_keys_unique_sorted_in_bounds():
+    keys = uniform_keys(200, 10_000.0, random.Random(1))
+    assert len(keys) == 200
+    assert keys == sorted(set(keys))
+    assert all(0 < key < 10_000.0 for key in keys)
+
+
+def test_skewed_keys_concentrate_in_hot_region():
+    keys = skewed_keys(500, 10_000.0, random.Random(2), hot_fraction=0.8, hot_region=0.1)
+    hot = [key for key in keys if key <= 1_000.0]
+    assert len(hot) > 300
+
+
+def test_skewed_keys_validation():
+    with pytest.raises(ValueError):
+        skewed_keys(10, 10_000.0, random.Random(0), hot_region=0.0)
+
+
+def test_item_workload_insert_events_respect_rate():
+    workload = ItemWorkload([1.0, 2.0, 3.0], insert_rate=2.0, start_time=10.0)
+    events = list(workload.insert_events())
+    assert [time for time, _key, _payload in events] == [10.0, 10.5, 11.0]
+    assert workload.duration == pytest.approx(1.5)
+
+
+def test_item_workload_delete_events():
+    workload = ItemWorkload([1.0], delete_keys=[5.0, 6.0], delete_rate=1.0)
+    events = list(workload.delete_events(after=100.0))
+    assert events == [(100.0, 5.0), (101.0, 6.0)]
+
+
+def test_churn_event_kind_validation():
+    with pytest.raises(ValueError):
+        ChurnEvent(0.0, "explode")
+
+
+def test_join_schedule_spacing():
+    schedule = join_schedule(5, period=3.0, start=1.0)
+    times = [event.time for event in schedule]
+    assert times == [1.0, 4.0, 7.0, 10.0, 13.0]
+    assert all(event.kind == JOIN for event in schedule)
+    assert schedule.duration == 13.0
+
+
+def test_failure_schedule_rate():
+    schedule = failure_schedule(10.0, 200.0, random.Random(3))
+    assert len(schedule) == 20
+    assert all(event.kind == FAIL for event in schedule)
+    assert all(0.0 <= event.time <= 200.0 for event in schedule)
+
+
+def test_failure_schedule_zero_rate_empty():
+    assert len(failure_schedule(0.0, 100.0, random.Random(0))) == 0
+
+
+def test_schedules_merge():
+    merged = join_schedule(2).merged_with(failure_schedule(5.0, 100.0, random.Random(1)))
+    kinds = {event.kind for event in merged}
+    assert kinds == {JOIN, FAIL}
+
+
+def test_query_workload_selectivity():
+    workload = QueryWorkload(count=50, selectivity=0.05, key_space=10_000.0, seed=4)
+    queries = workload.as_list()
+    assert len(queries) == 50
+    for lb, ub in queries:
+        assert ub - lb == pytest.approx(500.0)
+        assert 0.0 <= lb <= ub <= 10_000.0
+
+
+def test_range_for_hops_anchored_at_peer_boundaries():
+    values = [100.0, 200.0, 300.0, 400.0, 500.0]
+    lb, ub = range_for_hops(2, values, 10_000.0, random.Random(5))
+    assert lb in values and ub in values or (lb, ub) == (0.0, 10_000.0)
+    assert lb < ub
+
+
+def test_range_for_hops_whole_ring():
+    values = [100.0, 200.0]
+    assert range_for_hops(5, values, 10_000.0, random.Random(1)) == (0.0, 10_000.0)
+
+
+def test_range_for_hops_requires_values():
+    with pytest.raises(ValueError):
+        range_for_hops(1, [], 10_000.0, random.Random(0))
+
+
+@settings(max_examples=50, deadline=None)
+@given(count=st.integers(min_value=1, max_value=100), seed=st.integers(0, 1000))
+def test_property_uniform_keys_always_unique(count, seed):
+    keys = uniform_keys(count, 10_000.0, random.Random(seed))
+    assert len(set(keys)) == count
+
+
+@settings(max_examples=50, deadline=None)
+@given(rate=st.floats(min_value=0.5, max_value=20.0), duration=st.floats(min_value=10.0, max_value=500.0))
+def test_property_failure_schedule_count_matches_rate(rate, duration):
+    schedule = failure_schedule(rate, duration, random.Random(0))
+    assert len(schedule) == int(round(rate * duration / 100.0))
