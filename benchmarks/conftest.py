@@ -1,14 +1,19 @@
 """Shared helpers for the benchmark suite.
 
 Every benchmark reproduces one of the paper's evaluation figures (or one of the
-correctness/availability ablations) by running the corresponding
-:mod:`repro.harness.figures` function once inside ``pytest-benchmark``'s timer
-and printing the same series the paper plots.  The simulated deployments are
-slightly smaller than the paper's 30-peer testbed so the whole suite finishes
-in a few minutes; pass ``--paper-scale`` to run at the paper's size.
+correctness/availability ablations).  Figures are resolved *by name* through
+the harness registry (``repro.harness.figures.ALL_FIGURES`` -- the same lookup
+``repro-run figure_19`` uses), executed once inside ``pytest-benchmark``'s
+timer, printed as the series the paper plots, and emitted as
+``BENCH_<name>.json`` so the perf trajectory is tracked run over run.  The
+simulated deployments are slightly smaller than the paper's 30-peer testbed so
+the whole suite finishes in a few minutes; pass ``--paper-scale`` to run at
+the paper's size.
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
@@ -20,6 +25,11 @@ def pytest_addoption(parser):
         default=False,
         help="run the figure reproductions at the paper's deployment size (slower)",
     )
+    parser.addoption(
+        "--bench-json-dir",
+        default=None,
+        help="directory for BENCH_<figure>.json files (default: repo root)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -30,11 +40,34 @@ def figure_scale(request):
     return {"peers": 14, "items": 90, "queries_per_target": 3}
 
 
-def run_figure(benchmark, figure_function, **kwargs):
-    """Execute a figure function exactly once under the benchmark timer."""
+@pytest.fixture(scope="session")
+def bench_json_dir(request):
+    return request.config.getoption("--bench-json-dir") or "."
+
+
+def run_figure(benchmark, figure_name, bench_dir=".", **kwargs):
+    """Run the named registry figure once under the benchmark timer."""
+    from repro.harness.figures import ALL_FIGURES
+    from repro.harness.runner import write_bench
+
+    figure_function = ALL_FIGURES[figure_name]
+    started = time.perf_counter()
     result = benchmark.pedantic(lambda: figure_function(**kwargs), rounds=1, iterations=1)
+    wall = time.perf_counter() - started
     print()
     print(result.as_table())
     if result.notes:
         print(f"note: {result.notes}")
+    write_bench(
+        figure_name,
+        {
+            "summary": {"wall_clock_s": round(wall, 3), "parameters": _plain(kwargs)},
+            "results": [result.as_dict()],
+        },
+        out_dir=bench_dir,
+    )
     return result
+
+
+def _plain(kwargs):
+    return {key: list(value) if isinstance(value, tuple) else value for key, value in kwargs.items()}

@@ -6,13 +6,13 @@ items; with the paper's protocols nothing is lost.
 """
 
 from benchmarks.conftest import run_figure
-from repro.harness.figures import ablation_availability
 
 
-def test_ablation_item_availability_after_merges(benchmark, figure_scale):
+def test_ablation_item_availability_after_merges(benchmark, figure_scale, bench_json_dir):
     result = run_figure(
         benchmark,
-        ablation_availability,
+        "ablation_availability",
+        bench_dir=bench_json_dir,
         peers=max(10, figure_scale["peers"] - 4),
         items=max(60, figure_scale["items"] - 30),
     )

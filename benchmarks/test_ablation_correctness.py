@@ -8,13 +8,13 @@ Definition 4.
 """
 
 from benchmarks.conftest import run_figure
-from repro.harness.figures import ablation_query_correctness
 
 
-def test_ablation_query_correctness_under_churn(benchmark, figure_scale):
+def test_ablation_query_correctness_under_churn(benchmark, figure_scale, bench_json_dir):
     result = run_figure(
         benchmark,
-        ablation_query_correctness,
+        "ablation_query_correctness",
+        bench_dir=bench_json_dir,
         peers=max(10, figure_scale["peers"] - 4),
         items=figure_scale["items"],
         queries=15,

@@ -8,13 +8,13 @@ simulated substrate.
 """
 
 from benchmarks.conftest import run_figure
-from repro.harness.figures import figure_19
 
 
-def test_figure_19_insertsucc_vs_successor_list_length(benchmark, figure_scale):
+def test_figure_19_insertsucc_vs_successor_list_length(benchmark, figure_scale, bench_json_dir):
     result = run_figure(
         benchmark,
-        figure_19,
+        "figure_19",
+        bench_dir=bench_json_dir,
         succ_lengths=(2, 3, 4, 5, 6, 7, 8),
         peers=figure_scale["peers"],
         items=figure_scale["items"],

@@ -6,13 +6,13 @@ predecessor nudges decouple the protocol from the periodic rounds.
 """
 
 from benchmarks.conftest import run_figure
-from repro.harness.figures import figure_20
 
 
-def test_figure_20_insertsucc_vs_stabilization_period(benchmark, figure_scale):
+def test_figure_20_insertsucc_vs_stabilization_period(benchmark, figure_scale, bench_json_dir):
     result = run_figure(
         benchmark,
-        figure_20,
+        "figure_20",
+        bench_dir=bench_json_dir,
         stabilization_periods=(2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0),
         peers=figure_scale["peers"],
         items=figure_scale["items"],

@@ -6,13 +6,13 @@ elapsed time grows only slightly with the hop count on a LAN.
 """
 
 from benchmarks.conftest import run_figure
-from repro.harness.figures import figure_21
 
 
-def test_figure_21_scanrange_vs_naive_scan(benchmark, figure_scale):
+def test_figure_21_scanrange_vs_naive_scan(benchmark, figure_scale, bench_json_dir):
     result = run_figure(
         benchmark,
-        figure_21,
+        "figure_21",
+        bench_dir=bench_json_dir,
         hop_targets=(1, 2, 4, 6, 8, 10),
         peers=figure_scale["peers"],
         items=figure_scale["items"],

@@ -7,13 +7,13 @@ it simply walks away.
 """
 
 from benchmarks.conftest import run_figure
-from repro.harness.figures import figure_22
 
 
-def test_figure_22_leave_and_merge_overhead(benchmark, figure_scale):
+def test_figure_22_leave_and_merge_overhead(benchmark, figure_scale, bench_json_dir):
     result = run_figure(
         benchmark,
-        figure_22,
+        "figure_22",
+        bench_dir=bench_json_dir,
         succ_lengths=(2, 4, 6, 8),
         peers=max(10, figure_scale["peers"] - 4),
         items=figure_scale["items"],

@@ -6,13 +6,13 @@ from ~0.2 s with no failures to ~1.2 s at one failure every 10 seconds
 """
 
 from benchmarks.conftest import run_figure
-from repro.harness.figures import figure_23
 
 
-def test_figure_23_insertsucc_under_failures(benchmark, figure_scale):
+def test_figure_23_insertsucc_under_failures(benchmark, figure_scale, bench_json_dir):
     result = run_figure(
         benchmark,
-        figure_23,
+        "figure_23",
+        bench_dir=bench_json_dir,
         failure_rates=(0.0, 4.0, 8.0, 12.0),
         peers=max(10, figure_scale["peers"] - 4),
         items=figure_scale["items"],

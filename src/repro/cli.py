@@ -1,0 +1,117 @@
+"""``repro-run``: execute registry scenarios, suites, figures and benchmarks.
+
+Examples::
+
+    repro-run --list                 # everything runnable, with descriptions
+    repro-run smoke                  # one scenario cell, writes BENCH_smoke.json
+    repro-run scale_sweep            # 100/300/1000-peer suite -> BENCH_scale.json
+    repro-run figure_19              # a paper-figure reproduction
+    repro-run engine_bench           # engine-vs-seed microbench -> BENCH_engine.json
+    repro-run churn_heavy --seeds 0,1,2 --processes 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+ENGINE_BENCH = "engine_bench"
+
+
+def _parse_seeds(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip() != ""]
+    except ValueError:
+        raise SystemExit(f"invalid --seeds value {text!r}; expected e.g. '0' or '0,1,2'")
+
+
+def _print_listing() -> None:
+    from repro.harness.figures import ALL_FIGURES
+    from repro.harness.scenarios import (
+        get_scenario,
+        get_suite,
+        scenario_names,
+        suite_names,
+    )
+
+    print("suites:")
+    for name in suite_names():
+        suite = get_suite(name)
+        print(f"  {name:24s} {suite.description} [{', '.join(suite.scenarios)}]")
+    print("scenarios:")
+    for name in scenario_names():
+        print(f"  {name:24s} {get_scenario(name).description}")
+    print("figures:")
+    for name in sorted(ALL_FIGURES):
+        print(f"  {name:24s} {ALL_FIGURES[name].__doc__.strip().splitlines()[0]}")
+    print("benchmarks:")
+    print(f"  {ENGINE_BENCH:24s} event-engine microbenchmark vs. the frozen seed engine")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description="run a registered scenario / suite / figure and emit BENCH_<name>.json",
+    )
+    parser.add_argument("scenario", nargs="?", help="name from the registry (see --list)")
+    parser.add_argument("--list", action="store_true", help="list runnable names and exit")
+    parser.add_argument("--seeds", default="0", help="comma-separated seeds (default: 0)")
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker processes for multi-cell runs (default: min(cells, cores))",
+    )
+    parser.add_argument("--out-dir", default=".", help="directory for BENCH_<name>.json")
+    parser.add_argument("--no-json", action="store_true", help="print only, write nothing")
+    args = parser.parse_args(argv)
+
+    if args.list or args.scenario is None:
+        _print_listing()
+        return 0
+
+    out_dir = None if args.no_json else args.out_dir
+    if args.scenario == ENGINE_BENCH:
+        from repro.harness.engine_bench import run_engine_bench
+        from repro.harness.runner import write_bench
+
+        payload = run_engine_bench()
+        if out_dir is not None:
+            path = write_bench("engine", payload, out_dir=out_dir)
+            print(f"wrote {path}", file=sys.stderr)
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    from repro.harness.runner import known_names, run_named
+
+    if args.scenario not in known_names():
+        print(f"unknown scenario {args.scenario!r}; try: repro-run --list", file=sys.stderr)
+        return 2
+    payload = run_named(
+        args.scenario,
+        seeds=_parse_seeds(args.seeds),
+        processes=args.processes,
+        out_dir=out_dir,
+    )
+    print(json.dumps(payload["summary"], indent=2))
+    for cell in payload["results"]:
+        if "scenario" in cell:
+            print(
+                f"{cell['scenario']}[seed={cell['seed']}]: "
+                f"wall={cell['wall_clock_s']:.2f}s sim={cell['sim_time_s']:.0f}s "
+                f"events={cell['events_processed']} "
+                f"({cell['events_per_wall_s']:.0f}/s) ring={cell['ring_members']} "
+                f"items={cell['items_stored']}/{cell['items_requested']}"
+            )
+        elif "figure" in cell:
+            from repro.harness.reporting import format_table
+
+            print(f"{cell['figure']}: {cell['description']}")
+            print(format_table(cell["headers"], cell["rows"]))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution convenience
+    raise SystemExit(main())

@@ -1,4 +1,4 @@
-"""Experiment harness: metrics, cluster builders, and per-figure reproductions.
+"""Experiment harness: metrics, the scenario registry, and figure reproductions.
 
 Lazily exposes the heavier experiment modules so that library users who only
 need :class:`~repro.harness.metrics.Metrics` do not pay for them.
@@ -8,19 +8,36 @@ from typing import TYPE_CHECKING
 
 from repro.harness.metrics import Metrics
 
-__all__ = ["ClusterExperiment", "ExperimentSettings", "Metrics", "figures"]
+__all__ = [
+    "ClusterExperiment",
+    "ExperimentSettings",
+    "Metrics",
+    "ScenarioSpec",
+    "figures",
+    "get_scenario",
+    "run_spec",
+    "scenarios",
+]
 
 if TYPE_CHECKING:  # pragma: no cover - static typing only
     from repro.harness.experiment import ClusterExperiment, ExperimentSettings
+    from repro.harness.scenarios import ScenarioSpec, get_scenario, run_spec
+
+_EXPERIMENT_NAMES = ("ClusterExperiment", "ExperimentSettings")
+_SCENARIO_NAMES = ("ScenarioSpec", "get_scenario", "run_spec")
 
 
 def __getattr__(name):
-    if name in ("ClusterExperiment", "ExperimentSettings"):
+    if name in _EXPERIMENT_NAMES:
         from repro.harness import experiment
 
         return getattr(experiment, name)
-    if name == "figures":
-        from repro.harness import figures
+    if name in _SCENARIO_NAMES:
+        from repro.harness import scenarios
 
-        return figures
+        return getattr(scenarios, name)
+    if name in ("figures", "scenarios"):
+        import importlib
+
+        return importlib.import_module(f"repro.harness.{name}")
     raise AttributeError(f"module 'repro.harness' has no attribute {name!r}")

@@ -1,0 +1,316 @@
+"""Event-engine microbenchmark: current engine vs. the frozen seed engine.
+
+The workload is the timeout-heavy RPC pattern that dominates churn
+experiments: every call arms an ``rpc_timeout`` expiry (usually wasted,
+because the reply lands within milliseconds), two latency-delayed message
+deliveries, and a generator resume per reply -- plus a slice of calls to dead
+peers that ride the timer to full expiry, as under real churn.
+
+``_Seed*`` below is a trimmed, frozen copy of the v0 engine and transport hot
+path (closure-per-action heap scheduling, no timer cancellation, no delivery
+batching).  Keeping it inline lets the speedup be re-measured on any machine
+instead of trusting a number typed into a JSON file once.  Results go to
+``BENCH_engine.json`` via ``repro-run engine_bench``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.network import ConstantLatency, Network, NetworkConfig, RpcError
+
+RPC_LATENCY = 0.002
+RPC_TIMEOUT = 0.5
+THINK_TIME = 0.01
+DEAD_PEER_EVERY = 20  # every 20th call targets a dead peer and rides the timer
+
+
+# --------------------------------------------------------------------------- frozen seed stack
+class _SeedEvent:
+    """Seed-engine event: always-allocated callback list, closure scheduling."""
+
+    def __init__(self, sim: "_SeedSimulator"):
+        self.sim = sim
+        self.callbacks = []
+        self.triggered = False
+        self.ok = True
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "_SeedEvent":
+        self.triggered = True
+        self.ok = True
+        self.value = value
+        self.sim._queue_callbacks(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "_SeedEvent":
+        self.triggered = True
+        self.ok = False
+        self.value = exception
+        self.sim._queue_callbacks(self)
+        return self
+
+    def _add_callback(self, callback: Callable[["_SeedEvent"], None]) -> None:
+        if self.triggered:
+            self.sim._schedule(0.0, lambda: callback(self))
+        else:
+            self.callbacks.append(callback)
+
+
+class _SeedProcess(_SeedEvent):
+    """Seed-engine process stepping (send/throw wrapped in per-step lambdas)."""
+
+    def __init__(self, sim: "_SeedSimulator", generator):
+        super().__init__(sim)
+        self.generator = generator
+        self._waiting_on: Optional[_SeedEvent] = None
+        self._alive = True
+        sim._schedule(0.0, lambda: self._resume(None))
+
+    def _resume(self, trigger: Optional[_SeedEvent]) -> None:
+        if not self._alive:
+            return
+        if trigger is not None and self._waiting_on is not trigger:
+            return
+        self._waiting_on = None
+        if trigger is None or trigger.ok:
+            value = None if trigger is None else trigger.value
+            self._step(lambda: self.generator.send(value))
+        else:
+            self._step(lambda: self.generator.throw(trigger.value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self._alive = False
+            self.succeed(stop.value)
+            return
+        self._waiting_on = target
+        target._add_callback(self._resume)
+
+
+class _SeedSimulator:
+    """Seed engine: ``(time, seq, thunk)`` heap, one closure per action."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list = []
+        self._sequence = 0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def event(self) -> _SeedEvent:
+        return _SeedEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> _SeedEvent:
+        event = _SeedEvent(self)
+        self._schedule(delay, lambda: event.succeed(value))
+        return event
+
+    def process(self, generator) -> _SeedProcess:
+        return _SeedProcess(self, generator)
+
+    def _schedule(self, delay: float, action: Callable[[], None]) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, action))
+
+    def _queue_callbacks(self, event: _SeedEvent) -> None:
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            self._schedule(0.0, lambda cb=callback: cb(event))
+
+    def run(self) -> None:
+        queue = self._queue
+        while queue:
+            self._now, _seq, action = heapq.heappop(queue)
+            self.events_processed += 1
+            action()
+
+
+class _SeedRpcRequest:
+    """Seed request record (the v0 network built one dataclass per call)."""
+
+    def __init__(self, source, destination, method, payload, request_id):
+        self.source = source
+        self.destination = destination
+        self.method = method
+        self.payload = payload
+        self.request_id = request_id
+
+
+class _SeedNetwork:
+    """Seed transport, faithfully: request record + stats per call, expiry
+    always scheduled and never cancelled, one closure-bearing heap entry per
+    message, reply dispatched through the node's ``_handle_rpc``."""
+
+    def __init__(self, sim: _SeedSimulator):
+        self.sim = sim
+        self.nodes: Dict[str, Any] = {}
+        self.rpc_timeouts = 0
+        self.rpc_calls = 0
+        self.messages_sent = 0
+        self.per_method: Dict[str, int] = {}
+        self._next_request_id = 0
+
+    def call(self, source: str, destination: str, method: str, payload: Any) -> _SeedEvent:
+        result = self.sim.event()
+        self.rpc_calls += 1
+        self.per_method[method] = self.per_method.get(method, 0) + 1
+        self._next_request_id += 1
+        request = _SeedRpcRequest(source, destination, method, payload, self._next_request_id)
+
+        def _expire() -> None:
+            if not result.triggered:
+                self.rpc_timeouts += 1
+                result.fail(RpcError(f"{method} -> {destination} timed out"))
+
+        self.sim._schedule(RPC_TIMEOUT, _expire)
+        self.messages_sent += 1
+        self.sim._schedule(RPC_LATENCY, lambda: self._deliver_request(request, result))
+        return result
+
+    def _deliver_request(self, request: _SeedRpcRequest, result: _SeedEvent) -> None:
+        node = self.nodes.get(request.destination)
+        if node is None or not node.alive:
+            return  # dead peer: the caller rides the expiry timer
+        node._handle_rpc(request, lambda value, error: self._transmit_reply(result, value, error))
+
+    def _transmit_reply(self, result: _SeedEvent, value: Any, error) -> None:
+        self.messages_sent += 1
+
+        def _deliver() -> None:
+            if result.triggered:
+                return
+            if error is None:
+                result.succeed(value)
+            else:
+                result.fail(error)
+
+        self.sim._schedule(RPC_LATENCY, _deliver)
+
+
+# --------------------------------------------------------------------------- workload
+class _EchoPeer:
+    """Minimal live peer (identical dispatch cost on both stacks)."""
+
+    def __init__(self, network, address: str):
+        self.network = network
+        self.address = address
+        self.alive = True
+        register = getattr(network, "register", None)
+        if register is not None:
+            register(self)
+        else:
+            network.nodes[address] = self
+
+    def _handle_rpc(self, request, reply) -> None:
+        reply({"echo": request.payload}, None)
+
+
+def _routes(callers: int, rpcs_per_caller: int):
+    """Precomputed (source, destinations) per caller, excluded from the timer
+    (identical workload-generation cost on both stacks would dilute the ratio)."""
+    plans = []
+    for index in range(callers):
+        destinations = [
+            "dead" if r % DEAD_PEER_EVERY == 0 else f"peer{(index + r) % callers}"
+            for r in range(rpcs_per_caller)
+        ]
+        plans.append((f"peer{index}", destinations))
+    return plans
+
+
+def _drive_seed_stack(callers: int, rpcs_per_caller: int) -> Dict[str, Any]:
+    sim = _SeedSimulator()
+    network = _SeedNetwork(sim)
+    for index in range(callers):
+        _EchoPeer(network, f"peer{index}")
+    plans = _routes(callers, rpcs_per_caller)
+
+    def caller(source: str, destinations):
+        for round_number, destination in enumerate(destinations):
+            try:
+                yield network.call(source, destination, "echo", round_number)
+            except RpcError:
+                pass
+            yield sim.timeout(THINK_TIME)
+
+    started = time.perf_counter()
+    for source, destinations in plans:
+        sim.process(caller(source, destinations))
+    sim.run()
+    wall = time.perf_counter() - started
+    return {
+        "wall_clock_s": wall,
+        "events_processed": sim.events_processed,
+        "rpc_timeouts": network.rpc_timeouts,
+    }
+
+
+def _drive_current_stack(callers: int, rpcs_per_caller: int) -> Dict[str, Any]:
+    sim = Simulator()
+    config = NetworkConfig(rpc_timeout=RPC_TIMEOUT, latency_model=ConstantLatency(RPC_LATENCY))
+    network = Network(sim, rng=None, config=config)  # constant latency: rng unused
+    for index in range(callers):
+        _EchoPeer(network, f"peer{index}")
+    plans = _routes(callers, rpcs_per_caller)
+
+    def caller(source: str, destinations):
+        for round_number, destination in enumerate(destinations):
+            try:
+                yield network.call(source, destination, "echo", round_number)
+            except RpcError:
+                pass
+            yield sim.timeout(THINK_TIME)
+
+    started = time.perf_counter()
+    for source, destinations in plans:
+        sim.process(caller(source, destinations))
+    sim.run()
+    wall = time.perf_counter() - started
+    return {
+        "wall_clock_s": wall,
+        "events_processed": sim.events_processed,
+        "rpc_timeouts": network.stats.rpc_timeouts,
+    }
+
+
+def run_engine_bench(
+    callers: int = 1000, rpcs_per_caller: int = 40, repeats: int = 3
+) -> Dict[str, Any]:
+    """Run both stacks ``repeats`` times; keep each stack's best wall time."""
+    total_rpcs = callers * rpcs_per_caller
+    seed_best: Dict[str, Any] = {}
+    current_best: Dict[str, Any] = {}
+    for _ in range(repeats):
+        seed = _drive_seed_stack(callers, rpcs_per_caller)
+        if not seed_best or seed["wall_clock_s"] < seed_best["wall_clock_s"]:
+            seed_best = seed
+        current = _drive_current_stack(callers, rpcs_per_caller)
+        if not current_best or current["wall_clock_s"] < current_best["wall_clock_s"]:
+            current_best = current
+    for stats in (seed_best, current_best):
+        stats["rpcs_per_wall_s"] = round(total_rpcs / stats["wall_clock_s"])
+        stats["wall_clock_s"] = round(stats["wall_clock_s"], 4)
+    return {
+        "workload": {
+            "callers": callers,
+            "rpcs_per_caller": rpcs_per_caller,
+            "total_rpcs": total_rpcs,
+            "dead_peer_every": DEAD_PEER_EVERY,
+            "rpc_timeout_s": RPC_TIMEOUT,
+            "repeats": repeats,
+        },
+        "seed_engine": seed_best,
+        "current_engine": current_best,
+        "speedup": round(
+            seed_best["wall_clock_s"] / current_best["wall_clock_s"], 2
+        ),
+    }

@@ -1,29 +1,35 @@
-"""Shared experiment driver.
+"""Deployment driver: builds and drives one simulated cluster.
 
-Every figure in the paper's evaluation uses the same basic deployment
-(Section 6.1): 30 peers arriving one every 3 seconds, items inserted at 2 per
-second, storage factor 5, replication factor 6, and either a fail-free phase or
-a phase with peer failures at a controlled rate.  :class:`ClusterExperiment`
-builds such a deployment for an arbitrary :class:`~repro.index.config.IndexConfig`
-and exposes the measurement hooks the per-figure functions in
-:mod:`repro.harness.figures` use.
+The *shape* of a deployment (size, churn, workload, query mix, protocol
+selection) is described declaratively by a
+:class:`~repro.harness.scenarios.ScenarioSpec` and resolved into the plain
+parameters below; :class:`ClusterExperiment` only knows how to execute them.
+The paper's Section 6.1 deployment (30 peers arriving one every 3 seconds,
+items inserted at 2 per second, storage factor 5, replication factor 6) is the
+default, but any registry scenario -- churn-heavy, Zipf-skewed, 1000 peers --
+runs through the exact same driver.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.correctness import QueryRecord
 from repro.index.config import IndexConfig
 from repro.index.pring import PRingIndex
 from repro.workloads.churn import FAIL, JOIN, ChurnSchedule, failure_schedule, join_schedule
-from repro.workloads.items import ItemWorkload, uniform_keys
+from repro.workloads.items import ItemWorkload, generate_keys
 
 
 @dataclass
 class ExperimentSettings:
-    """Deployment parameters shared by the paper's experiments (Section 6.1)."""
+    """Deployment parameters shared by the paper's experiments (Section 6.1).
+
+    ``key_distribution``/``key_params`` select one of the named generators in
+    :mod:`repro.workloads.items` (uniform, skewed, zipf), so skewed scenarios
+    are a settings change rather than a different driver.
+    """
 
     peers: int = 30
     items: int = 180
@@ -33,18 +39,15 @@ class ExperimentSettings:
     failure_rate_per_100s: float = 0.0
     failure_window: float = 100.0
     seed: int = 0
+    key_distribution: str = "uniform"
+    key_params: Mapping = field(default_factory=dict)
 
     def scaled(self, factor: float) -> "ExperimentSettings":
         """A proportionally smaller/larger deployment (used to keep benches fast)."""
-        return ExperimentSettings(
+        return replace(
+            self,
             peers=max(3, int(self.peers * factor)),
             items=max(20, int(self.items * factor)),
-            peer_join_period=self.peer_join_period,
-            item_insert_rate=self.item_insert_rate,
-            settle_time=self.settle_time,
-            failure_rate_per_100s=self.failure_rate_per_100s,
-            failure_window=self.failure_window,
-            seed=self.seed,
         )
 
 
@@ -64,11 +67,23 @@ class QueryOutcome:
 
 
 class ClusterExperiment:
-    """Builds and drives one simulated deployment."""
+    """Builds and drives one simulated deployment.
 
-    def __init__(self, config: IndexConfig, settings: Optional[ExperimentSettings] = None):
+    ``extra_churn`` (e.g. a flash-crowd join burst or a correlated-failure
+    schedule from :mod:`repro.workloads.churn`) is merged into the arrival
+    schedule during :meth:`build`, so scenario specs can reshape the bootstrap
+    phase without subclassing the driver.
+    """
+
+    def __init__(
+        self,
+        config: IndexConfig,
+        settings: Optional[ExperimentSettings] = None,
+        extra_churn: Optional[ChurnSchedule] = None,
+    ):
         self.config = config
         self.settings = settings or ExperimentSettings(seed=config.seed)
+        self.extra_churn = extra_churn
         self.index = PRingIndex(config)
         self.inserted_keys: List[float] = []
         self.deleted_keys: List[float] = []
@@ -81,10 +96,18 @@ class ClusterExperiment:
         index.bootstrap()
 
         rng = index.rngs.stream("workload")
-        keys = uniform_keys(settings.items, self.config.key_space, rng)
+        keys = generate_keys(
+            settings.key_distribution,
+            settings.items,
+            self.config.key_space,
+            rng,
+            **dict(settings.key_params),
+        )
         self.inserted_keys = keys
         workload = ItemWorkload(keys, insert_rate=settings.item_insert_rate, start_time=1.0)
         joins = join_schedule(settings.peers - 1, period=settings.peer_join_period, start=0.5)
+        if self.extra_churn is not None:
+            joins = joins.merged_with(self.extra_churn)
 
         index.sim.process(self._membership_driver(joins), name="driver:joins")
         index.sim.process(self._item_driver(workload), name="driver:items")
@@ -93,6 +116,21 @@ class ClusterExperiment:
         settle = settings.settle_time if extra_settle is None else extra_settle
         index.run(duration + settle)
         return index
+
+    # ------------------------------------------------------------------ churn extras
+    def fail_correlated(self, count: int) -> List[str]:
+        """Kill ``count`` random ring members at the current instant (rack outage)."""
+        rng = self.index.rngs.stream("correlated-failures")
+        members = self.index.ring_members()
+        victims: List[str] = []
+        # Never take the ring below three members -- matches the membership
+        # driver's safety margin for random failures.
+        killable = max(0, len(members) - 3)
+        for _ in range(min(count, killable)):
+            victim = rng.choice([m for m in self.index.ring_members() if m.address not in victims])
+            victims.append(victim.address)
+            self.index.fail_peer(victim.address)
+        return victims
 
     def _membership_driver(self, schedule: ChurnSchedule):
         rng = self.index.rngs.stream("churn")

@@ -1,12 +1,18 @@
 """Per-figure reproduction of the paper's evaluation (Section 6).
 
-Each ``figure_*`` function rebuilds the corresponding experiment on the
-simulated substrate and returns a :class:`FigureResult` holding the same series
-the paper plots.  Absolute numbers differ from the paper (their testbed is a
-real LAN cluster; ours is a simulator with a configurable latency model), but
-the comparisons the paper draws -- which protocol is more expensive, how costs
-scale with successor-list length, stabilization period, hop count and failure
-rate -- are reproduced.  EXPERIMENTS.md records paper-vs-measured values.
+Every figure is now a *registry scenario*: deployments are described by
+:class:`~repro.harness.scenarios.ScenarioSpec` and built through the shared
+driver, and the parameter sweeps of Figures 19/20/22 are declared as
+:class:`FigureSweep` tables executed by one generic :func:`run_sweep` engine.
+The ``figure_*`` functions remain as thin, signature-stable entry points (the
+tier-1 tests and the benchmark suite call them directly) and are also exposed
+through ``ALL_FIGURES`` so ``repro-run figure_19`` resolves them by name.
+
+Absolute numbers differ from the paper (their testbed is a real LAN cluster;
+ours is a simulator with a configurable latency model), but the comparisons
+the paper draws -- which protocol is more expensive, how costs scale with
+successor-list length, stabilization period, hop count and failure rate -- are
+reproduced.  EXPERIMENTS.md records paper-vs-measured values.
 
 The ``scale`` arguments exist so the benchmark suite can run the full sweep in
 minutes; passing ``peers=30, items=180`` reproduces the paper's deployment
@@ -16,11 +22,12 @@ size exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.correctness import ItemTimeline, check_query_result, count_lost_items
-from repro.harness.experiment import ClusterExperiment, ExperimentSettings
+from repro.harness.experiment import ClusterExperiment
 from repro.harness.reporting import format_table
+from repro.harness.scenarios import ScenarioSpec, WorkloadSpec, build_experiment
 from repro.index.config import IndexConfig, default_config
 
 
@@ -42,20 +49,154 @@ class FigureResult:
         """A convenience ``x -> y`` mapping over the rows."""
         return {row[x_index]: row[y_index] for row in self.rows}
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (used by the BENCH emission)."""
+        return {
+            "figure": self.figure,
+            "description": self.description,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": self.notes,
+        }
 
-def _settings(peers: int, items: int, seed: int) -> ExperimentSettings:
-    return ExperimentSettings(peers=peers, items=items, seed=seed, settle_time=20.0)
+
+def _figure_spec(config: IndexConfig, peers: int, items: int, seed: int) -> ScenarioSpec:
+    """The deployment cell every figure uses: paper shape, 20 s settle."""
+    return ScenarioSpec(
+        name="figure_cell",
+        peers=peers,
+        settle_time=20.0,
+        seed=seed,
+        workload=WorkloadSpec(items=items),
+        base_config=config,
+        protocols="base",  # the sweep already selected pepper/naive flags
+    )
 
 
 def _build(config: IndexConfig, peers: int, items: int, seed: int) -> ClusterExperiment:
-    experiment = ClusterExperiment(config, _settings(peers, items, seed))
+    experiment = build_experiment(_figure_spec(config, peers, items, seed))
     experiment.build()
     return experiment
 
 
+# --------------------------------------------------------------------------- sweep engine
+@dataclass(frozen=True)
+class FigureSweep:
+    """A declarative parameter sweep: one row per value, one build per variant."""
+
+    figure: str
+    description: str
+    headers: Tuple[str, ...]
+    notes: str
+    values: Tuple
+    # (seed, value) -> base IndexConfig; variants apply pepper/naive on top.
+    config_for: Callable[[int, Any], IndexConfig]
+    # (value, {variant: built experiment}) -> one result row
+    row: Callable[[Any, Dict[str, ClusterExperiment]], Tuple]
+    variants: Tuple[str, ...] = ("naive", "pepper")
+    # Optional post-build phase applied to every variant (e.g. forcing merges).
+    prepare: Optional[Callable[[ClusterExperiment], None]] = None
+
+
+def run_sweep(
+    sweep: FigureSweep,
+    values: Optional[Sequence] = None,
+    peers: int = 18,
+    items: int = 110,
+    seed: int = 0,
+) -> FigureResult:
+    """Execute a :class:`FigureSweep` and collect its rows."""
+    rows = []
+    for value in values if values is not None else sweep.values:
+        built: Dict[str, ClusterExperiment] = {}
+        for variant in sweep.variants:
+            config = sweep.config_for(seed, value)
+            if variant == "pepper":
+                config = config.with_pepper_protocols()
+            elif variant == "naive":
+                config = config.with_naive_protocols()
+            cell_seed = config.seed
+            experiment = _build(config, peers, items, cell_seed)
+            if sweep.prepare is not None:
+                sweep.prepare(experiment)
+            built[variant] = experiment
+        rows.append(sweep.row(value, built))
+    return FigureResult(
+        figure=sweep.figure,
+        description=sweep.description,
+        headers=list(sweep.headers),
+        rows=rows,
+        notes=sweep.notes,
+    )
+
+
+def _force_merges(experiment: ClusterExperiment) -> None:
+    """Delete most items so Data Stores underflow and peers merge away."""
+    keys = list(experiment.inserted_keys)
+    victims = keys[: int(len(keys) * 0.8)]
+    experiment.delete_items(victims, rate=4.0)
+    experiment.settle(30.0)
+
+
+def _insert_succ_row(value, built) -> Tuple:
+    return (
+        value,
+        built["naive"].mean_metric("insert_succ") or 0.0,
+        built["pepper"].mean_metric("insert_succ") or 0.0,
+    )
+
+
+SWEEPS: Dict[str, FigureSweep] = {
+    "figure_19": FigureSweep(
+        figure="Figure 19",
+        description="insertSucc completion time vs. successor list length",
+        headers=("succ_list_length", "naive_insertSucc_s", "pepper_insertSucc_s"),
+        notes="PEPPER should sit above naive and grow slowly with the list length.",
+        values=(2, 3, 4, 5, 6, 7, 8),
+        config_for=lambda seed, length: default_config(
+            seed=seed + length, successor_list_length=length
+        ),
+        row=_insert_succ_row,
+    ),
+    "figure_20": FigureSweep(
+        figure="Figure 20",
+        description="insertSucc completion time vs. ring stabilization period",
+        headers=("stabilization_period_s", "naive_insertSucc_s", "pepper_insertSucc_s"),
+        notes="PEPPER stays close to naive as the period grows (proactive nudging).",
+        values=(2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0),
+        config_for=lambda seed, period: default_config(
+            seed=seed + int(period), stabilization_period=period
+        ),
+        row=_insert_succ_row,
+    ),
+    "figure_22": FigureSweep(
+        figure="Figure 22",
+        description="leave / merge overhead vs. successor list length",
+        headers=(
+            "succ_list_length",
+            "merge_with_extra_hop_s",
+            "safe_leave_s",
+            "naive_leave_s",
+        ),
+        notes="Safe leave and merge are orders of magnitude above naive leave.",
+        values=(2, 3, 4, 5, 6, 7, 8),
+        config_for=lambda seed, length: default_config(
+            seed=seed + length, successor_list_length=length
+        ),
+        prepare=_force_merges,
+        row=lambda length, built: (
+            length,
+            built["pepper"].mean_metric("merge") or 0.0,
+            built["pepper"].mean_metric("leave") or 0.0,
+            built["naive"].mean_metric("leave") or 0.0,
+        ),
+    ),
+}
+
+
 # --------------------------------------------------------------------------- Figure 19
 def figure_19(
-    succ_lengths: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
+    succ_lengths: Optional[Sequence[int]] = None,  # default: SWEEPS["figure_19"].values
     peers: int = 18,
     items: int = 110,
     seed: int = 19,
@@ -66,31 +207,12 @@ def figure_19(
     slowly and linearly with the list length thanks to the proactive-predecessor
     optimisation.
     """
-    rows = []
-    for length in succ_lengths:
-        naive_config = default_config(seed=seed + length, successor_list_length=length).with_naive_protocols()
-        pepper_config = default_config(seed=seed + length, successor_list_length=length).with_pepper_protocols()
-        naive = _build(naive_config, peers, items, seed + length)
-        pepper = _build(pepper_config, peers, items, seed + length)
-        rows.append(
-            (
-                length,
-                naive.mean_metric("insert_succ") or 0.0,
-                pepper.mean_metric("insert_succ") or 0.0,
-            )
-        )
-    return FigureResult(
-        figure="Figure 19",
-        description="insertSucc completion time vs. successor list length",
-        headers=["succ_list_length", "naive_insertSucc_s", "pepper_insertSucc_s"],
-        rows=rows,
-        notes="PEPPER should sit above naive and grow slowly with the list length.",
-    )
+    return run_sweep(SWEEPS["figure_19"], values=succ_lengths, peers=peers, items=items, seed=seed)
 
 
 # --------------------------------------------------------------------------- Figure 20
 def figure_20(
-    stabilization_periods: Sequence[float] = (2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0),
+    stabilization_periods: Optional[Sequence[float]] = None,  # default: SWEEPS["figure_20"].values
     peers: int = 18,
     items: int = 110,
     seed: int = 20,
@@ -100,29 +222,8 @@ def figure_20(
     Paper: naive is flat; PEPPER grows only mildly with the stabilization period
     because the proactive nudges decouple it from the periodic rounds.
     """
-    rows = []
-    for period in stabilization_periods:
-        naive_config = default_config(
-            seed=seed + int(period), stabilization_period=period
-        ).with_naive_protocols()
-        pepper_config = default_config(
-            seed=seed + int(period), stabilization_period=period
-        ).with_pepper_protocols()
-        naive = _build(naive_config, peers, items, seed + int(period))
-        pepper = _build(pepper_config, peers, items, seed + int(period))
-        rows.append(
-            (
-                period,
-                naive.mean_metric("insert_succ") or 0.0,
-                pepper.mean_metric("insert_succ") or 0.0,
-            )
-        )
-    return FigureResult(
-        figure="Figure 20",
-        description="insertSucc completion time vs. ring stabilization period",
-        headers=["stabilization_period_s", "naive_insertSucc_s", "pepper_insertSucc_s"],
-        rows=rows,
-        notes="PEPPER stays close to naive as the period grows (proactive nudging).",
+    return run_sweep(
+        SWEEPS["figure_20"], values=stabilization_periods, peers=peers, items=items, seed=seed
     )
 
 
@@ -190,7 +291,7 @@ def figure_21(
 
 # --------------------------------------------------------------------------- Figure 22
 def figure_22(
-    succ_lengths: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
+    succ_lengths: Optional[Sequence[int]] = None,  # default: SWEEPS["figure_22"].values
     peers: int = 14,
     items: int = 90,
     seed: int = 22,
@@ -201,43 +302,7 @@ def figure_22(
     includes the extra-hop replication) cost on the order of 100 ms, roughly
     flat in the successor-list length, while the naive leave costs ~1 ms.
     """
-    rows = []
-    for length in succ_lengths:
-        pepper_config = default_config(
-            seed=seed + length, successor_list_length=length
-        ).with_pepper_protocols()
-        naive_config = default_config(
-            seed=seed + length, successor_list_length=length
-        ).with_naive_protocols()
-
-        pepper = _build(pepper_config, peers, items, seed + length)
-        _force_merges(pepper)
-        naive = _build(naive_config, peers, items, seed + length)
-        _force_merges(naive)
-
-        rows.append(
-            (
-                length,
-                pepper.mean_metric("merge") or 0.0,
-                pepper.mean_metric("leave") or 0.0,
-                naive.mean_metric("leave") or 0.0,
-            )
-        )
-    return FigureResult(
-        figure="Figure 22",
-        description="leave / merge overhead vs. successor list length",
-        headers=["succ_list_length", "merge_with_extra_hop_s", "safe_leave_s", "naive_leave_s"],
-        rows=rows,
-        notes="Safe leave and merge are orders of magnitude above naive leave.",
-    )
-
-
-def _force_merges(experiment: ClusterExperiment) -> None:
-    """Delete most items so Data Stores underflow and peers merge away."""
-    keys = list(experiment.inserted_keys)
-    victims = keys[: int(len(keys) * 0.8)]
-    experiment.delete_items(victims, rate=4.0)
-    experiment.settle(30.0)
+    return run_sweep(SWEEPS["figure_22"], values=succ_lengths, peers=peers, items=items, seed=seed)
 
 
 # --------------------------------------------------------------------------- Figure 23

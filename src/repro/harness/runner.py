@@ -1,0 +1,132 @@
+"""Parallel scenario execution and benchmark JSON emission.
+
+Scenario cells -- one ``(scenario, seed)`` pair each -- are completely
+independent simulations, so the runner fans them out across CPU cores with a
+process pool.  Each worker resolves the scenario name through the registry
+(specs travel as names, not pickled objects, so the pool works under both fork
+and spawn start methods) and returns a plain dict.
+
+Every run is summarised into ``BENCH_<name>.json`` so the performance
+trajectory of the repository is tracked from this PR onward: wall-clock,
+simulated seconds, engine events per wall second, ring size, RPC volume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.scenarios import (
+    ScenarioResult,
+    get_scenario,
+    get_suite,
+    run_spec,
+    scenario_names,
+    suite_names,
+)
+
+
+def run_cell(cell: Tuple[str, int]) -> Dict[str, Any]:
+    """Execute one ``(scenario_name, seed)`` cell.  Top-level for picklability."""
+    name, seed = cell
+    return run_spec(get_scenario(name), seed=seed).as_dict()
+
+
+def run_cells(
+    names: Sequence[str],
+    seeds: Sequence[int] = (0,),
+    processes: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Run the cross product of ``names`` x ``seeds``, fanned across cores.
+
+    ``processes=None`` sizes the pool to ``min(cells, cores)``; ``processes<=1``
+    runs serially in-process (no pool overhead, simpler tracebacks).
+    """
+    cells = [(name, seed) for name in names for seed in seeds]
+    for name, _seed in cells:
+        get_scenario(name)  # fail fast on unknown names, before forking
+    if processes is None:
+        processes = min(len(cells), os.cpu_count() or 1)
+    if processes <= 1 or len(cells) <= 1:
+        return [run_cell(cell) for cell in cells]
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        return list(pool.map(run_cell, cells))
+
+
+# --------------------------------------------------------------------------- BENCH emission
+def _environment() -> Dict[str, Any]:
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_bench(name: str, payload: Dict[str, Any], out_dir: str = ".") -> Path:
+    """Write ``BENCH_<name>.json`` with the standard envelope; returns the path."""
+    path = Path(out_dir) / f"BENCH_{name}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {"bench": name, "environment": _environment(), **payload}
+    path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def _cells_summary(cells: List[Dict[str, Any]]) -> Dict[str, Any]:
+    total_wall = sum(cell["wall_clock_s"] for cell in cells)
+    total_events = sum(cell["events_processed"] for cell in cells)
+    return {
+        "cells": len(cells),
+        "total_wall_clock_s": round(total_wall, 3),
+        "total_events_processed": total_events,
+        "events_per_wall_s": round(total_events / total_wall) if total_wall else 0,
+    }
+
+
+def run_named(
+    name: str,
+    seeds: Sequence[int] = (0,),
+    processes: Optional[int] = None,
+    out_dir: Optional[str] = ".",
+) -> Dict[str, Any]:
+    """Run a registered scenario or suite by name; emit its BENCH json.
+
+    Returns the emitted document (also written to ``BENCH_<name>.json`` unless
+    ``out_dir`` is ``None``).
+    """
+    from repro.harness.figures import ALL_FIGURES  # deferred: figures import the harness
+
+    if name in suite_names():
+        suite = get_suite(name)
+        cells = run_cells(suite.scenarios, seeds=seeds, processes=processes)
+        bench_name = suite.bench_name or suite.name
+        payload = {"summary": _cells_summary(cells), "results": cells}
+    elif name in ALL_FIGURES:
+        import time
+
+        started = time.perf_counter()
+        figure = ALL_FIGURES[name]()
+        payload = {
+            "summary": {"wall_clock_s": round(time.perf_counter() - started, 3)},
+            "results": [figure.as_dict()],
+        }
+        bench_name = name
+    else:
+        get_scenario(name)
+        cells = run_cells([name], seeds=seeds, processes=processes)
+        bench_name = name
+        payload = {"summary": _cells_summary(cells), "results": cells}
+    if out_dir is not None:
+        write_bench(bench_name, payload, out_dir=out_dir)
+    return payload
+
+
+def known_names() -> List[str]:
+    """Every runnable name: suites first, then scenarios, then figures."""
+    from repro.harness.figures import ALL_FIGURES
+
+    return suite_names() + scenario_names() + sorted(ALL_FIGURES)

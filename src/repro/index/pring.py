@@ -130,10 +130,13 @@ class PRingIndex:
             peer = self.peers[via]
             if peer.alive:
                 return peer
-        members = self.ring_members()
-        if not members:
-            raise SimulationError("no live ring members to route through")
-        return members[0]
+        # Hot path for every insert/delete/query: scan lazily instead of
+        # materialising the O(peers) member list (the first peers created are
+        # almost always ring members, so this is near-constant time).
+        for peer in self.peers.values():
+            if peer.alive and peer.in_ring:
+                return peer
+        raise SimulationError("no live ring members to route through")
 
     def insert_item(self, skv: float, payload=None, via: Optional[str] = None):
         """Generator: insert ``(skv, payload)`` through peer ``via`` (or any member)."""

@@ -3,8 +3,8 @@
 Peers in the paper communicate over a LAN with "known bounded delay"
 (Section 2.1).  The :class:`Network` models that channel:
 
-* every message experiences a latency drawn uniformly from
-  ``[latency_min, latency_max]`` seconds;
+* every message experiences a latency drawn from a pluggable
+  :class:`LatencyModel` (constant, uniform, or LAN-vs-WAN two-tier);
 * messages may be dropped with probability ``drop_probability``;
 * a request to a failed (or departed) peer is silently lost, so the caller
   observes an :class:`RpcTimeout` after ``rpc_timeout`` seconds -- this is how
@@ -12,12 +12,26 @@ Peers in the paper communicate over a LAN with "known bounded delay"
 
 The only communication primitive higher layers use is :meth:`Network.call`:
 request/response RPC addressed by peer address and handler name.
+
+Scalability notes
+-----------------
+* The RPC expiry timer is *cancelled* (lazily, via the engine's tombstoning
+  heap) as soon as the reply is delivered.  Under churn-free operation nearly
+  every call completes in milliseconds while its timer spans the full
+  ``rpc_timeout``; without cancellation those dead timers dominate the event
+  queue of large deployments.
+* Messages due at exactly the same instant are *batched*: one heap entry
+  drains the whole batch.  With a constant-latency model every message sent
+  within one action shares a delivery slot, so a replication fan-out to ``k``
+  successors costs one heap operation instead of ``k``.
 """
 
 from __future__ import annotations
 
+import zlib
+import heapq
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.sim.engine import Event, Simulator
 
@@ -45,18 +59,106 @@ class RpcRemoteError(RpcError):
     """The remote handler raised an exception; its repr is carried along."""
 
 
+# --------------------------------------------------------------------------- latency models
+class LatencyModel:
+    """Per-message latency as a function of the two endpoint addresses."""
+
+    def sample(self, rng, source: str, destination: str) -> float:
+        raise NotImplementedError
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for physically meaningless settings."""
+
+
+@dataclass(frozen=True)
+class ConstantLatency(LatencyModel):
+    """Every message takes exactly ``value`` seconds (fully batchable)."""
+
+    value: float = 0.001
+
+    def sample(self, rng, source: str, destination: str) -> float:
+        return self.value
+
+    def validate(self) -> None:
+        if self.value < 0:
+            raise ValueError("constant latency must be >= 0")
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from ``[low, high]`` (the paper's LAN model)."""
+
+    low: float = 0.0005
+    high: float = 0.003
+
+    def sample(self, rng, source: str, destination: str) -> float:
+        if self.high <= self.low:
+            return self.low
+        return rng.uniform(self.low, self.high)
+
+    def validate(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ValueError("latency bounds must satisfy 0 <= low <= high")
+
+
+@dataclass(frozen=True)
+class LanWanLatency(LatencyModel):
+    """Two-tier model: peers hash into ``sites``; cross-site messages pay WAN cost.
+
+    Addresses are assigned to sites by a stable CRC hash, so the site layout is
+    a pure function of the deployment's addresses (reproducible across runs and
+    processes).
+    """
+
+    sites: int = 4
+    lan: UniformLatency = UniformLatency(0.0005, 0.003)
+    wan: UniformLatency = UniformLatency(0.02, 0.08)
+
+    def site_of(self, address: str) -> int:
+        return zlib.crc32(address.encode("utf-8")) % self.sites
+
+    def sample(self, rng, source: str, destination: str) -> float:
+        if self.site_of(source) == self.site_of(destination):
+            return self.lan.sample(rng, source, destination)
+        return self.wan.sample(rng, source, destination)
+
+    def validate(self) -> None:
+        if self.sites < 1:
+            raise ValueError("LanWanLatency needs at least one site")
+        self.lan.validate()
+        self.wan.validate()
+
+
+LATENCY_MODELS = {
+    "constant": ConstantLatency,
+    "uniform": UniformLatency,
+    "lan_wan": LanWanLatency,
+}
+
+
 @dataclass
 class NetworkConfig:
     """Tunable parameters of the message channel.
 
     The defaults approximate the paper's LAN cluster: sub-millisecond to a few
-    milliseconds per message, no loss.
+    milliseconds per message, no loss.  ``latency_model`` overrides the
+    ``latency_min``/``latency_max`` pair; the legacy fields are kept so every
+    existing experiment config keeps meaning what it meant.
     """
 
     latency_min: float = 0.0005
     latency_max: float = 0.003
     drop_probability: float = 0.0
     rpc_timeout: float = 0.5
+    latency_model: Optional[LatencyModel] = None
+
+    def resolved_latency_model(self) -> LatencyModel:
+        """The effective model: explicit one, or uniform over the legacy bounds."""
+        if self.latency_model is not None:
+            return self.latency_model
+        if self.latency_max <= self.latency_min:
+            return ConstantLatency(self.latency_min)
+        return UniformLatency(self.latency_min, self.latency_max)
 
     def validate(self) -> None:
         """Raise ``ValueError`` for physically meaningless settings."""
@@ -66,9 +168,11 @@ class NetworkConfig:
             raise ValueError("drop_probability must be in [0, 1)")
         if self.rpc_timeout <= 0:
             raise ValueError("rpc_timeout must be positive")
+        if self.latency_model is not None:
+            self.latency_model.validate()
 
 
-@dataclass
+@dataclass(slots=True)
 class RpcRequest:
     """A request in flight.  Exposed to handlers for tracing/diagnostics."""
 
@@ -87,6 +191,7 @@ class NetworkStats:
     messages_dropped: int = 0
     rpc_calls: int = 0
     rpc_timeouts: int = 0
+    delivery_batches: int = 0
     per_method: Dict[str, int] = field(default_factory=dict)
 
     def record_call(self, method: str) -> None:
@@ -102,9 +207,12 @@ class Network:
         self.rng = rng
         self.config = config or NetworkConfig()
         self.config.validate()
+        self.reconfigure()
         self.stats = NetworkStats()
         self._nodes: Dict[str, "Node"] = {}
         self._next_request_id = 0
+        # Pending same-instant delivery batches, keyed on absolute delivery time.
+        self._batches: Dict[float, List[Tuple[Callable[[Any], None], Any]]] = {}
 
     # -- membership --------------------------------------------------------
     def register(self, node: "Node") -> None:
@@ -124,15 +232,46 @@ class Network:
         return list(self._nodes)
 
     # -- latency model -----------------------------------------------------
-    def _latency(self) -> float:
-        low, high = self.config.latency_min, self.config.latency_max
-        if high <= low:
-            return low
-        return self.rng.uniform(low, high)
+    def reconfigure(self) -> None:
+        """Re-resolve the latency model after mutating ``config`` mid-run.
+
+        ``drop_probability`` and ``rpc_timeout`` are read live on every call;
+        the latency model (and its constant-value fast path) is resolved here
+        once, so experiments that switch latency regimes mid-run must call
+        this after changing the latency fields.
+        """
+        self.latency_model = self.config.resolved_latency_model()
+        # Fast path: a constant model needs no rng and no per-message dispatch.
+        self._fixed_latency: Optional[float] = (
+            self.latency_model.value
+            if isinstance(self.latency_model, ConstantLatency)
+            else None
+        )
+
+    def _latency(self, source: str, destination: str) -> float:
+        fixed = self._fixed_latency
+        if fixed is not None:
+            return fixed
+        return self.latency_model.sample(self.rng, source, destination)
 
     def _dropped(self) -> bool:
         prob = self.config.drop_probability
         return prob > 0 and self.rng.random() < prob
+
+    # -- batched delivery ---------------------------------------------------
+    def _schedule_delivery(self, delay: float, func: Callable[[Any], None], arg: Any) -> None:
+        """Deliver ``func(arg)`` after ``delay``; same-instant messages share one heap entry."""
+        time = self.sim.now + delay
+        batch = self._batches.get(time)
+        if batch is None:
+            self._batches[time] = batch = []
+            self.sim.schedule_at(time, self._run_batch, time)
+            self.stats.delivery_batches += 1
+        batch.append((func, arg))
+
+    def _run_batch(self, time: float) -> None:
+        for func, arg in self._batches.pop(time):
+            func(arg)
 
     # -- RPC ----------------------------------------------------------------
     def call(
@@ -160,43 +299,63 @@ class Network:
             payload=payload,
             request_id=self._next_request_id,
         )
-
-        def _expire() -> None:
-            if not result.triggered:
-                self.stats.rpc_timeouts += 1
-                result.fail(RpcTimeout(f"{method} -> {destination} timed out"))
-
-        self.sim._schedule(timeout, _expire)
-        self._transmit_request(request, result)
-        return result
-
-    # -- internals ----------------------------------------------------------
-    def _transmit_request(self, request: RpcRequest, result: Event) -> None:
+        sim = self.sim
+        sim._sequence += 1  # inlined sim.schedule: one timer per RPC
+        timer = [sim._now + timeout, sim._sequence, self._expire, (result, method, destination)]
+        heapq.heappush(sim._queue, timer)
         self.stats.messages_sent += 1
         if self._dropped():
             self.stats.messages_dropped += 1
-            return
-        self.sim._schedule(self._latency(), lambda: self._deliver_request(request, result))
+        else:
+            self._schedule_delivery(
+                self._latency(source, destination), self._deliver_request, (request, result, timer)
+            )
+        return result
 
-    def _deliver_request(self, request: RpcRequest, result: Event) -> None:
+    # -- internals ----------------------------------------------------------
+    def _expire(self, pending: Tuple[Event, str, str]) -> None:
+        result, method, destination = pending
+        if not result.triggered:
+            self.stats.rpc_timeouts += 1
+            result.fail(RpcTimeout(f"{method} -> {destination} timed out"))
+
+    def _deliver_request(self, transfer: Tuple[RpcRequest, Event, list]) -> None:
+        request, result, timer = transfer
         node = self._nodes.get(request.destination)
         if node is None or not node.alive:
             # A dead or missing peer never answers; the caller times out.
             return
-        node._handle_rpc(request, lambda value, error: self._transmit_reply(result, value, error))
+        node._handle_rpc(
+            request,
+            lambda value, error: self._transmit_reply(request, result, timer, value, error),
+        )
 
-    def _transmit_reply(self, result: Event, value: Any, error: Optional[BaseException]) -> None:
+    def _transmit_reply(
+        self,
+        request: RpcRequest,
+        result: Event,
+        timer: list,
+        value: Any,
+        error: Optional[BaseException],
+    ) -> None:
         self.stats.messages_sent += 1
         if self._dropped():
             self.stats.messages_dropped += 1
             return
+        self._schedule_delivery(
+            self._latency(request.destination, request.source),
+            self._deliver_reply,
+            (result, timer, value, error),
+        )
 
-        def _deliver() -> None:
-            if result.triggered:
-                return
-            if error is None:
-                result.succeed(value)
-            else:
-                result.fail(error)
-
-        self.sim._schedule(self._latency(), _deliver)
+    def _deliver_reply(self, transfer: Tuple[Event, list, Any, Optional[BaseException]]) -> None:
+        result, timer, value, error = transfer
+        if result.triggered:
+            return
+        # The reply made it: the pending expiry timer is dead weight on the
+        # heap from here on -- tombstone it.
+        self.sim.cancel(timer)
+        if error is None:
+            result.succeed(value)
+        else:
+            result.fail(error)

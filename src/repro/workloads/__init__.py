@@ -1,17 +1,36 @@
 """Workload generation: item streams, churn schedules and query mixes."""
 
-from repro.workloads.items import ItemWorkload, skewed_keys, uniform_keys
-from repro.workloads.churn import ChurnEvent, ChurnSchedule, failure_schedule, join_schedule
+from repro.workloads.items import (
+    ItemWorkload,
+    KEY_DISTRIBUTIONS,
+    generate_keys,
+    skewed_keys,
+    uniform_keys,
+    zipf_keys,
+)
+from repro.workloads.churn import (
+    ChurnEvent,
+    ChurnSchedule,
+    correlated_failure_schedule,
+    failure_schedule,
+    flash_crowd_schedule,
+    join_schedule,
+)
 from repro.workloads.queries import QueryWorkload, range_for_hops
 
 __all__ = [
     "ChurnEvent",
     "ChurnSchedule",
     "ItemWorkload",
+    "KEY_DISTRIBUTIONS",
     "QueryWorkload",
+    "correlated_failure_schedule",
     "failure_schedule",
+    "flash_crowd_schedule",
+    "generate_keys",
     "join_schedule",
     "range_for_hops",
     "skewed_keys",
     "uniform_keys",
+    "zipf_keys",
 ]

@@ -56,6 +56,39 @@ def join_schedule(count: int, period: float = 3.0, start: float = 0.0) -> ChurnS
     )
 
 
+def flash_crowd_schedule(
+    count: int, at: float, spacing: float = 0.05
+) -> ChurnSchedule:
+    """``count`` peers arriving in a tight burst starting at ``at``.
+
+    Models a flash crowd: instead of the paper's leisurely one-peer-per-3s
+    arrival, the whole cohort shows up within ``count * spacing`` seconds and
+    the ring must absorb the join storm.  ``spacing`` stays configurable so
+    the burst can be made arbitrarily brutal (0 = all at one instant).
+    """
+    if spacing < 0:
+        raise ValueError("spacing must be >= 0")
+    return ChurnSchedule(
+        [ChurnEvent(at + index * spacing, JOIN) for index in range(count)]
+    )
+
+
+def correlated_failure_schedule(
+    count: int, at: float, spacing: float = 0.0
+) -> ChurnSchedule:
+    """``count`` peers failing (near-)simultaneously at time ``at``.
+
+    Models a rack/site outage: failures land together instead of being spread
+    over a window, which is the worst case for successor-list repair and the
+    scenario where replica placement actually gets tested.
+    """
+    if spacing < 0:
+        raise ValueError("spacing must be >= 0")
+    return ChurnSchedule(
+        [ChurnEvent(at + index * spacing, FAIL) for index in range(count)]
+    )
+
+
 def failure_schedule(
     rate_per_100s: float,
     duration: float,

@@ -50,6 +50,77 @@ def skewed_keys(
     return sorted(keys)
 
 
+def zipf_keys(
+    count: int,
+    key_space: float,
+    rng: random.Random,
+    alpha: float = 1.1,
+    bins: int = 1024,
+) -> List[float]:
+    """Zipf-skewed unique keys: bin ``k`` of the key space has weight ``1/k^alpha``.
+
+    The key space is split into ``bins`` equal slices ordered by popularity;
+    a key first draws its slice from the Zipf distribution and then a uniform
+    offset inside it.  With ``alpha`` around 1 this reproduces the classic
+    web/file-sharing popularity skew and concentrates inserts on a few slices,
+    stressing the split/rebalance machinery far harder than the simple
+    hot-region skew of :func:`skewed_keys`.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    weights = [1.0 / (rank ** alpha) for rank in range(1, bins + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    slice_width = key_space / bins
+    keys: set = set()
+    while len(keys) < count:
+        point = rng.random()
+        # Binary search the cumulative popularity table for the chosen bin.
+        lo, hi = 0, bins - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < point:
+                lo = mid + 1
+            else:
+                hi = mid
+        base = lo * slice_width
+        key = round(base + rng.uniform(0.0, slice_width), 6)
+        if 0.0 < key < key_space:
+            keys.add(key)
+    return sorted(keys)
+
+
+KEY_DISTRIBUTIONS = {
+    "uniform": uniform_keys,
+    "skewed": skewed_keys,
+    "zipf": zipf_keys,
+}
+
+
+def generate_keys(
+    distribution: str,
+    count: int,
+    key_space: float,
+    rng: random.Random,
+    **params,
+) -> List[float]:
+    """Dispatch to a named key generator (used by the scenario registry)."""
+    try:
+        generator = KEY_DISTRIBUTIONS[distribution]
+    except KeyError:
+        raise ValueError(
+            f"unknown key distribution {distribution!r}; "
+            f"choose from {sorted(KEY_DISTRIBUTIONS)}"
+        ) from None
+    return generator(count, key_space, rng, **params)
+
+
 @dataclass
 class ItemWorkload:
     """A timed stream of item insertions (and optional later deletions).

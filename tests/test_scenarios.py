@@ -1,0 +1,165 @@
+"""Tests for the scenario registry, spec resolution and the cell runner."""
+
+import json
+
+import pytest
+
+from repro.harness.runner import known_names, run_cells, run_named, write_bench
+from repro.harness.scenarios import (
+    ChurnSpec,
+    QueryMixSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    build_experiment,
+    get_scenario,
+    get_suite,
+    register,
+    run_spec,
+    scenario_names,
+    suite_names,
+)
+
+
+TINY = ScenarioSpec(
+    name="tiny-test-cell",
+    peers=6,
+    join_period=1.0,
+    settle_time=10.0,
+    workload=WorkloadSpec(items=40, insert_rate=4.0),
+    queries=QueryMixSpec(count=3),
+)
+
+
+# --------------------------------------------------------------------------- registry basics
+def test_builtin_scenarios_registered():
+    names = scenario_names()
+    for expected in (
+        "paper_default",
+        "smoke",
+        "zipf_hotspot",
+        "flash_crowd",
+        "churn_heavy",
+        "correlated_failures",
+        "scale_100",
+        "scale_300",
+        "scale_1000",
+    ):
+        assert expected in names
+
+
+def test_scale_sweep_suite_composition():
+    assert "scale_sweep" in suite_names()
+    suite = get_suite("scale_sweep")
+    assert suite.scenarios == ("scale_100", "scale_300", "scale_1000")
+    assert suite.bench_name == "scale"
+
+
+def test_unknown_scenario_raises_with_known_names():
+    with pytest.raises(KeyError, match="paper_default"):
+        get_scenario("no_such_scenario")
+
+
+def test_duplicate_registration_rejected():
+    spec = get_scenario("smoke")
+    with pytest.raises(ValueError, match="already registered"):
+        register(spec)
+    register(spec, replace_existing=True)  # idempotent escape hatch
+
+
+def test_runner_known_names_cover_figures():
+    names = known_names()
+    assert "scale_sweep" in names
+    assert "figure_19" in names
+
+
+# --------------------------------------------------------------------------- spec resolution
+def test_spec_resolves_protocol_selection():
+    pepper = TINY.with_(protocols="pepper").index_config()
+    naive = TINY.with_(protocols="naive").index_config()
+    assert pepper.consistent_insert and pepper.use_scan_range
+    assert not naive.consistent_insert and not naive.use_scan_range
+    with pytest.raises(ValueError):
+        TINY.with_(protocols="bogus").index_config()
+
+
+def test_spec_config_overrides_apply():
+    spec = TINY.with_(config={"successor_list_length": 7, "stabilization_period": 9.0})
+    config = spec.index_config(seed=5)
+    assert config.successor_list_length == 7
+    assert config.stabilization_period == 9.0
+    assert config.seed == 5
+
+
+def test_spec_settings_carry_workload_shape():
+    spec = TINY.with_(workload=WorkloadSpec(items=33, distribution="zipf", params={"alpha": 1.3}))
+    settings = spec.settings(seed=2)
+    assert settings.items == 33
+    assert settings.key_distribution == "zipf"
+    assert settings.key_params == {"alpha": 1.3}
+    assert settings.seed == 2
+
+
+def test_flash_crowd_spec_merges_into_build_schedule():
+    spec = TINY.with_(churn=ChurnSpec(flash_crowd_peers=4, flash_crowd_at=2.0))
+    experiment = build_experiment(spec)
+    assert experiment.extra_churn is not None
+    assert len(experiment.extra_churn) == 4
+
+
+# --------------------------------------------------------------------------- execution
+def test_run_spec_produces_complete_result():
+    result = run_spec(TINY, seed=0)
+    assert result.scenario == "tiny-test-cell"
+    assert result.ring_members >= 3
+    assert result.items_stored == 40
+    assert result.queries_run == 3
+    assert result.queries_complete == 3
+    assert result.events_processed > 0
+    assert result.wall_clock_s > 0
+    assert "route_hops" in result.metrics
+    payload = result.as_dict()
+    json.dumps(payload)  # JSON-serialisable end to end
+
+
+def test_run_spec_is_deterministic_per_seed():
+    first = run_spec(TINY, seed=3)
+    second = run_spec(TINY, seed=3)
+    assert first.events_processed == second.events_processed
+    assert first.sim_time_s == second.sim_time_s
+    assert first.metrics == second.metrics
+    different = run_spec(TINY, seed=4)
+    assert different.events_processed != first.events_processed
+
+
+def test_correlated_failures_phase_kills_members():
+    spec = TINY.with_(
+        name="tiny-corr",
+        peers=10,
+        workload=WorkloadSpec(items=60, insert_rate=4.0),
+        churn=ChurnSpec(correlated_failures=2),
+        queries=QueryMixSpec(count=0),
+    )
+    result = run_spec(spec, seed=1)
+    assert result.correlated_failures_injected == 2
+
+
+# --------------------------------------------------------------------------- runner + BENCH emission
+def test_run_cells_serial_and_bench_write(tmp_path):
+    cells = run_cells(["smoke"], seeds=[0, 1], processes=1)
+    assert [cell["seed"] for cell in cells] == [0, 1]
+    path = write_bench("unit", {"results": cells}, out_dir=tmp_path)
+    document = json.loads(path.read_text())
+    assert document["bench"] == "unit"
+    assert len(document["results"]) == 2
+    assert document["environment"]["python"]
+
+
+def test_run_named_scenario_writes_bench_json(tmp_path):
+    payload = run_named("smoke", seeds=[0], out_dir=str(tmp_path))
+    assert (tmp_path / "BENCH_smoke.json").exists()
+    assert payload["summary"]["cells"] == 1
+
+
+def test_run_named_unknown_name_raises():
+    with pytest.raises(KeyError):
+        run_named("definitely_not_registered", out_dir=None)

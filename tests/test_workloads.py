@@ -109,3 +109,82 @@ def test_property_uniform_keys_always_unique(count, seed):
 def test_property_failure_schedule_count_matches_rate(rate, duration):
     schedule = failure_schedule(rate, duration, random.Random(0))
     assert len(schedule) == int(round(rate * duration / 100.0))
+
+
+# --------------------------------------------------------------------------- zipf keys
+def test_zipf_keys_unique_sorted_in_bounds():
+    from repro.workloads.items import zipf_keys
+
+    keys = zipf_keys(300, 10_000.0, random.Random(7), alpha=1.1)
+    assert len(keys) == 300
+    assert keys == sorted(set(keys))
+    assert all(0.0 < key < 10_000.0 for key in keys)
+
+
+def test_zipf_keys_concentrate_on_popular_slices():
+    from repro.workloads.items import zipf_keys
+
+    keys = zipf_keys(500, 10_000.0, random.Random(8), alpha=1.2)
+    first_decile = sum(1 for key in keys if key < 1_000.0)
+    assert first_decile > len(keys) * 0.5
+
+
+def test_zipf_keys_validation():
+    from repro.workloads.items import zipf_keys
+
+    with pytest.raises(ValueError):
+        zipf_keys(10, 10_000.0, random.Random(0), alpha=0.0)
+    with pytest.raises(ValueError):
+        zipf_keys(10, 10_000.0, random.Random(0), bins=0)
+
+
+def test_generate_keys_dispatches_by_name():
+    from repro.workloads.items import generate_keys
+
+    uniform = generate_keys("uniform", 20, 10_000.0, random.Random(1))
+    zipf = generate_keys("zipf", 20, 10_000.0, random.Random(1), alpha=1.5)
+    assert len(uniform) == len(zipf) == 20
+    with pytest.raises(ValueError, match="unknown key distribution"):
+        generate_keys("gaussian", 10, 10_000.0, random.Random(0))
+
+
+# --------------------------------------------------------------------------- burst churn
+def test_flash_crowd_schedule_burst_spacing():
+    from repro.workloads.churn import flash_crowd_schedule
+
+    schedule = flash_crowd_schedule(5, at=10.0, spacing=0.1)
+    times = [event.time for event in schedule]
+    assert times == [10.0, 10.1, 10.2, 10.3, 10.4]
+    assert all(event.kind == JOIN for event in schedule)
+    with pytest.raises(ValueError):
+        flash_crowd_schedule(3, at=0.0, spacing=-1.0)
+
+
+def test_correlated_failure_schedule_simultaneous():
+    from repro.workloads.churn import correlated_failure_schedule
+
+    schedule = correlated_failure_schedule(4, at=50.0)
+    assert [event.time for event in schedule] == [50.0] * 4
+    assert all(event.kind == FAIL for event in schedule)
+
+
+def test_burst_schedules_merge_with_joins():
+    from repro.workloads.churn import correlated_failure_schedule, flash_crowd_schedule
+
+    merged = join_schedule(3, period=2.0).merged_with(
+        flash_crowd_schedule(2, at=1.0)
+    ).merged_with(correlated_failure_schedule(1, at=9.0))
+    kinds = [event.kind for event in merged]
+    assert kinds.count(JOIN) == 5 and kinds.count(FAIL) == 1
+    assert [event.time for event in merged] == sorted(event.time for event in merged)
+
+
+# --------------------------------------------------------------------------- query rng injection
+def test_query_workload_uses_injected_rng():
+    stream_a = random.Random(99)
+    stream_b = random.Random(99)
+    first = QueryWorkload(5, 0.01, 10_000.0, rng=stream_a).as_list()
+    second = QueryWorkload(5, 0.01, 10_000.0, rng=stream_b).as_list()
+    assert first == second
+    # The injected stream takes precedence over the fallback seed.
+    assert first != QueryWorkload(5, 0.01, 10_000.0, seed=0).as_list()
