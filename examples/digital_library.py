@@ -35,7 +35,7 @@ def main() -> None:
         index.run(0.3)
     index.run(40.0)
 
-    members = sorted(index.ring_members(), key=lambda peer: peer.ring.value)
+    members = index.ring_members()
     print(f"\nThe skew forced {len(members)} peers into the ring:")
     for peer in members:
         width = peer.store.range.span(config.key_space)

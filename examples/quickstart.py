@@ -36,7 +36,7 @@ def main() -> None:
     index.run(30.0)
 
     print(f"Ring members: {len(index.ring_members())}, free peers: {len(index.free_peers())}")
-    for peer in sorted(index.ring_members(), key=lambda p: p.ring.value):
+    for peer in index.ring_members():
         print(f"  {peer.address}: range {peer.store.range}, {peer.store.item_count()} items")
 
     # Range query (lb, ub]: all objects with keys in (300, 600].

@@ -75,7 +75,7 @@ class PepperRing(ChordRing):
         if self.state != JOINED or self._pending_insert is not None:
             self.succ_lock.release_write()
             return
-        self.state = INSERTING
+        self._set_state(INSERTING)
         entry = SuccessorEntry(new_address, new_value, JOINING, stabilized=False)
         self.succ_list.insert(0, entry)
         ack_event = self.sim.event()
@@ -160,7 +160,7 @@ class PepperRing(ChordRing):
             # The new peer died before completing its insertion: roll back.
             yield self.succ_lock.acquire_write()
             self.succ_list = [e for e in self.succ_list if e.address != new_address]
-            self.state = JOINED
+            self._set_state(JOINED)
             self._pending_insert = None
             self.succ_lock.release_write()
             self._record_op("insert_succ_aborted", new_peer=new_address)
@@ -172,7 +172,7 @@ class PepperRing(ChordRing):
                 if e.address == new_address:
                     e.state = JOINED
                     e.stabilized = True
-            self.state = JOINED
+            self._set_state(JOINED)
             self._pending_insert = None
             self._trim()
         finally:
@@ -274,7 +274,7 @@ class PepperRing(ChordRing):
             duration = yield from super().leave()
             return duration
 
-        self.state = LEAVING
+        self._set_state(LEAVING)
         self._leave_ack_event = self.sim.event()
         self._record_op("ring_init_leave", safe=True)
 
@@ -313,7 +313,7 @@ class PepperRing(ChordRing):
                 self._nudge_predecessor()
                 self.stabilize_now()
 
-        self.state = FREE
+        self._set_state(FREE)
         duration = self.sim.now - started
         self._record("leave", duration)
         self._record_op(

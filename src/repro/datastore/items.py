@@ -53,6 +53,9 @@ class ItemStore:
     def __init__(self, items: Optional[Iterable[Item]] = None):
         self._by_key: Dict[float, Item] = {}
         self._keys: List[float] = []
+        # Bumped on every successful mutation; lets observers (the Replication
+        # Manager's refresh) detect "nothing changed" without comparing items.
+        self.version = 0
         if items:
             for item in items:
                 self.add(item)
@@ -73,6 +76,7 @@ class ItemStore:
             return False
         self._by_key[item.skv] = item
         bisect.insort(self._keys, item.skv)
+        self.version += 1
         return True
 
     def remove(self, skv: float) -> Optional[Item]:
@@ -81,6 +85,7 @@ class ItemStore:
         if item is not None:
             index = bisect.bisect_left(self._keys, skv)
             del self._keys[index]
+            self.version += 1
         return item
 
     def get(self, skv: float) -> Optional[Item]:
@@ -99,6 +104,7 @@ class ItemStore:
         """Remove everything."""
         self._by_key.clear()
         self._keys.clear()
+        self.version += 1
 
     # ------------------------------------------------------------------ range queries
     def items_in_interval(self, lo: float, hi: float) -> List[Item]:
@@ -138,6 +144,8 @@ class ItemStore:
         taken_keys = self._keys[:count]
         taken = [self._by_key.pop(key) for key in taken_keys]
         del self._keys[:count]
+        if taken:
+            self.version += 1
         return taken
 
     def remove_interval(self, lo: float, hi: float) -> List[Item]:

@@ -121,19 +121,35 @@ class ClusterExperiment:
     def fail_correlated(self, count: int) -> List[str]:
         """Kill ``count`` random ring members at the current instant (rack outage)."""
         rng = self.index.rngs.stream("correlated-failures")
-        members = self.index.ring_members()
+        # One snapshot for the whole burst: every victim is drawn from the
+        # membership as it was when the outage started, so a peer that already
+        # failed earlier in the burst can never be selected again.
+        pool = self.index.ring_members()
         victims: List[str] = []
-        # Never take the ring below three members -- matches the membership
-        # driver's safety margin for random failures.
-        killable = max(0, len(members) - 3)
-        for _ in range(min(count, killable)):
-            victim = rng.choice([m for m in self.index.ring_members() if m.address not in victims])
+        for _ in range(count):
+            victim = self._draw_victim(pool, rng, floor=3)
+            if victim is None:
+                break
             victims.append(victim.address)
             self.index.fail_peer(victim.address)
         return victims
 
+    @staticmethod
+    def _draw_victim(pool: List, rng, floor: int):
+        """Pick and remove one failure victim from a burst's snapshot pool.
+
+        All of a burst's victims come from one membership snapshot with chosen
+        peers removed (never re-picking a peer that already failed), and the
+        pool is never drained below ``floor`` members.
+        """
+        if len(pool) <= floor:
+            return None
+        return pool.pop(rng.randrange(len(pool)))
+
     def _membership_driver(self, schedule: ChurnSchedule):
         rng = self.index.rngs.stream("churn")
+        burst_time = None
+        burst_pool: List = []
         for event in schedule:
             delay = event.time - self.index.sim.now
             if delay > 0:
@@ -141,9 +157,13 @@ class ClusterExperiment:
             if event.kind == JOIN:
                 self.index.add_peer()
             elif event.kind == FAIL:
-                members = self.index.ring_members()
-                if len(members) > 2:
-                    victim = rng.choice(members)
+                # FAIL events landing at one instant form a burst; victims come
+                # from the snapshot taken at the burst's start (_draw_victim).
+                if burst_time != self.index.sim.now:
+                    burst_time = self.index.sim.now
+                    burst_pool = self.index.ring_members()
+                victim = self._draw_victim(burst_pool, rng, floor=2)
+                if victim is not None:
                     self.index.fail_peer(victim.address)
 
     def _item_driver(self, workload: ItemWorkload):
@@ -216,7 +236,7 @@ class ClusterExperiment:
         outcomes: Dict[int, List[QueryOutcome]] = {}
         for target in hop_targets:
             for _ in range(queries_per_target):
-                members = sorted(self.index.ring_members(), key=lambda p: p.ring.value)
+                members = self.index.ring_members()  # already in ring-value order
                 if len(members) < 2:
                     continue
                 values = [peer.ring.value for peer in members]

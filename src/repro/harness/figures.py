@@ -246,12 +246,12 @@ def figure_21(
     rng = index.rngs.stream("figure21")
 
     per_hops: Dict[int, Dict[str, List[float]]] = {}
-    members = sorted(index.ring_members(), key=lambda peer: peer.ring.value)
+    members = index.ring_members()
     if len(members) < 2:
         raise RuntimeError("figure_21 needs at least two ring members")
     for target in hop_targets:
         for _ in range(queries_per_target):
-            members = sorted(index.ring_members(), key=lambda peer: peer.ring.value)
+            members = index.ring_members()
             values = [peer.ring.value for peer in members]
             if len(values) < 3:
                 continue
@@ -394,7 +394,7 @@ def ablation_query_correctness(
         violations = 0
         executed = 0
         for _ in range(queries):
-            members = sorted(index.ring_members(), key=lambda p: p.ring.value)
+            members = index.ring_members()
             if len(members) < 3:
                 break
             values = [peer.ring.value for peer in members]

@@ -411,11 +411,12 @@ def _scale_spec(name: str, peers: int, description: str) -> ScenarioSpec:
 register(_scale_spec("scale_100", 100, "100-peer deployment with churn"))
 register(_scale_spec("scale_300", 300, "300-peer deployment with churn"))
 register(_scale_spec("scale_1000", 1000, "1000-peer deployment with churn"))
+register(_scale_spec("scale_3000", 3000, "3000-peer deployment with churn"))
 register_suite(
     ScenarioSuite(
         name="scale_sweep",
-        scenarios=("scale_100", "scale_300", "scale_1000"),
-        description="wall-clock and event-throughput across 100/300/1000 peers",
+        scenarios=("scale_100", "scale_300", "scale_1000", "scale_3000"),
+        description="wall-clock and event-throughput across 100/300/1000/3000 peers",
         bench_name="scale",
     )
 )

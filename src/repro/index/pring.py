@@ -21,6 +21,7 @@ from repro.core.histories import HistoryRecorder
 from repro.datastore.maintenance import FreePeerPool
 from repro.harness.metrics import Metrics
 from repro.index.config import IndexConfig, default_config
+from repro.index.membership import MembershipIndex
 from repro.index.peer import IndexPeer
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.network import Network, RpcError
@@ -40,6 +41,9 @@ class PRingIndex:
         self.history = HistoryRecorder(self.sim)
         self.pool = FreePeerPool(self.sim, self.network, address="pool")
         self.peers: Dict[str, IndexPeer] = {}
+        # Incrementally maintained live/free/ring-member sets: updated by ring
+        # state transitions and failure hooks, never by rescanning ``peers``.
+        self.membership = MembershipIndex()
         self.query_records: List[QueryRecord] = []
         self._next_peer = 0
         self._bootstrapped = False
@@ -63,6 +67,7 @@ class PRingIndex:
             history=self.history,
         )
         self.peers[address] = peer
+        self.membership.track(peer)
         return peer
 
     def bootstrap(self) -> IndexPeer:
@@ -94,18 +99,23 @@ class PRingIndex:
 
     def live_peers(self) -> List[IndexPeer]:
         """All peers that have not failed."""
-        return [peer for peer in self.peers.values() if peer.alive]
+        return self.membership.live_peers()
 
     def ring_members(self) -> List[IndexPeer]:
-        """All live peers currently part of the ring."""
-        return [peer for peer in self.live_peers() if peer.in_ring]
+        """All live peers currently part of the ring, in ring-value order."""
+        return self.membership.ring_members()
 
     def free_peers(self) -> List[IndexPeer]:
         """All live peers currently outside the ring."""
-        return [peer for peer in self.live_peers() if peer.is_free]
+        return self.membership.free_peers()
 
     def peer_for_key(self, key: float) -> Optional[IndexPeer]:
         """The ring member currently responsible for ``key`` (by direct inspection)."""
+        candidate = self.membership.member_for_key(key)
+        if candidate is not None and candidate.store.owns_key(key):
+            return candidate
+        # Data Store ranges trail ring values while splits/failures propagate;
+        # fall back to inspecting every member during those windows.
         for peer in self.ring_members():
             if peer.store.owns_key(key):
                 return peer
@@ -130,13 +140,10 @@ class PRingIndex:
             peer = self.peers[via]
             if peer.alive:
                 return peer
-        # Hot path for every insert/delete/query: scan lazily instead of
-        # materialising the O(peers) member list (the first peers created are
-        # almost always ring members, so this is near-constant time).
-        for peer in self.peers.values():
-            if peer.alive and peer.in_ring:
-                return peer
-        raise SimulationError("no live ring members to route through")
+        peer = self.membership.first_member()
+        if peer is None:
+            raise SimulationError("no live ring members to route through")
+        return peer
 
     def insert_item(self, skv: float, payload=None, via: Optional[str] = None):
         """Generator: insert ``(skv, payload)`` through peer ``via`` (or any member)."""

@@ -20,7 +20,6 @@ from repro.datastore.store import DataStore
 from repro.index.config import IndexConfig
 from repro.replication.extra_hop import push_items_one_extra_hop
 from repro.ring.chord import ChordRing, RingListener
-from repro.sim.network import RpcError
 from repro.sim.node import Node
 
 
@@ -50,6 +49,12 @@ class ReplicationManager(RingListener):
         # deleted, so stale copies cannot resurrect deleted items.
         self._freshness: dict = {}
         self._tombstones: dict = {}
+        # Fingerprint of the last fan-out (store version + target set) and how
+        # many refresh rounds were skipped because nothing changed.  Skipping
+        # is bounded so receiver-side freshness never leaves the promotable
+        # window (see :meth:`_refresh_once`).
+        self._last_push: tuple = ()
+        self._pushes_skipped = 0
 
         ring.add_listener(self)
         node.register_handler("rep_store_replicas", self._handle_store_replicas)
@@ -123,16 +128,47 @@ class ReplicationManager(RingListener):
             items = self.store.items.all_items()
             if items:
                 targets = self.ring.joined_successors(self.config.replication_factor)
-                payload = {"items": items_to_wire(items), "owner": self.address}
-                for target in targets:
-                    try:
-                        yield self.node.call(target, "rep_store_replicas", payload)
-                    except RpcError:
-                        continue
+                if self._should_push(targets):
+                    payload = {"items": items_to_wire(items), "owner": self.address}
+                    # Fan out concurrently: the pushes are independent, and a
+                    # failed receiver simply times out unobserved (exactly what
+                    # the serial loop did with its error-and-continue), so one
+                    # refresh round costs one send instant instead of k
+                    # round-trips.
+                    for target in targets:
+                        self.node.call(target, "rep_store_replicas", payload)
         # Promote any replica we hold whose key now falls in our own range --
         # this both revives items after a predecessor failure and self-heals if
         # a range-change notification raced with a refresh.
         yield from self._promote_replicas()
+
+    def _should_push(self, targets) -> bool:
+        """Whether this round's fan-out would tell the successors anything new.
+
+        A round is a no-op when neither the Data Store contents (tracked by the
+        item store's mutation version) nor the target set changed since the
+        last push.  At most one consecutive no-op round is skipped: receivers
+        consider a replica promotable for ``4 *`` the refresh period
+        (:meth:`_is_promotable`), so pushing at least every second round keeps
+        two full periods of slack for failure detection plus range propagation
+        before a revive -- enough even when ring-adjacent peers fail together
+        (skipping two rounds is not: the revive after an adjacent double
+        failure can then find its replicas just outside the window).
+
+        That slack argument assumes pushes are delivered.  On a lossy network
+        a recorded push may never have refreshed anyone (the fan-out is
+        fire-and-forget), so skipping on top of an undetected loss could
+        double the refresh gap -- in that regime every round pushes.
+        """
+        if self.node.network.config.drop_probability > 0:
+            return True
+        fingerprint = (self.store.items.version, tuple(targets))
+        if fingerprint == self._last_push and self._pushes_skipped < 1:
+            self._pushes_skipped += 1
+            return False
+        self._last_push = fingerprint
+        self._pushes_skipped = 0
+        return True
 
     def _promote_replicas(self):
         """Move replicas whose keys are now our responsibility into the Data Store."""

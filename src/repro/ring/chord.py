@@ -93,11 +93,19 @@ class ChordRing:
         history=None,
     ):
         self.node = node
-        self.value = value
         self.config = config
         self.metrics = metrics
         self.history = history
 
+        # Optional membership observer (a
+        # :class:`~repro.index.membership.MembershipIndex`).  ``state`` and
+        # ``value`` are plain attributes because they are read on nearly every
+        # protocol step; every *mutation* must go through :meth:`_set_state` /
+        # :meth:`_set_value` so the observer sees each transition and
+        # cluster-level membership queries never have to rescan the deployment
+        # (``tests/test_membership_invariants.py`` enforces this).
+        self.membership = None
+        self.value = value
         self.state = FREE
         self.succ_list: List[SuccessorEntry] = []
         self.pred_address: Optional[str] = None
@@ -117,6 +125,24 @@ class ChordRing:
         node.register_handler("ring_nudge", self._handle_nudge)
 
     # ------------------------------------------------------------------ helpers
+    def _set_state(self, new_state: str) -> None:
+        """Transition the lifecycle state, notifying the membership observer."""
+        old_state = self.state
+        if new_state == old_state:
+            return
+        self.state = new_state
+        if self.membership is not None:
+            self.membership.ring_state_changed(self.node, old_state, new_state)
+
+    def _set_value(self, new_value: float) -> None:
+        """Change the ring value, notifying the membership observer."""
+        old_value = self.value
+        if new_value == old_value:
+            return
+        self.value = new_value
+        if self.membership is not None:
+            self.membership.ring_value_changed(self.node, old_value, new_value)
+
     @property
     def sim(self):
         return self.node.sim
@@ -186,7 +212,7 @@ class ChordRing:
     # ------------------------------------------------------------------ bootstrap
     def create(self) -> None:
         """Initialise this peer as the first (and only) member of the ring."""
-        self.state = JOINED
+        self._set_state(JOINED)
         self.succ_list = [SuccessorEntry(self.address, self.value, JOINED, True)]
         self.pred_address = self.address
         self.pred_value = self.value
@@ -204,7 +230,7 @@ class ChordRing:
         Returns the elapsed time.
         """
         started = self.sim.now
-        self.state = JOINING
+        self._set_state(JOINING)
         if self._joined_event.triggered:
             # Re-joining after a previous membership (a merged-away free peer
             # being reused for a later split): arm a fresh completion event.
@@ -232,7 +258,7 @@ class ChordRing:
                 if response.get("state") == FREE:
                     # The contact peer is no longer a ring member; there is no
                     # point retrying through it.
-                    self.state = FREE
+                    self._set_state(FREE)
                     raise RuntimeError(
                         f"{self.address}: join contact {predecessor_address} left the ring"
                     )
@@ -245,7 +271,7 @@ class ChordRing:
             wait = self.sim.timeout(self.config.join_ack_timeout * 2)
             yield self.sim.any_of([self._joined_event, wait])
             if attempts > 20 and not self._joined_event.triggered:
-                self.state = FREE
+                self._set_state(FREE)
                 raise RuntimeError(f"{self.address}: could not join the ring")
         duration = self.sim.now - started
         self._record_op("ring_joined", value=self.value, duration=duration)
@@ -342,7 +368,7 @@ class ChordRing:
         old_pred_addr, old_pred_val = self.pred_address, self.pred_value
         self.pred_address = payload["pred_address"]
         self.pred_value = payload["pred_value"]
-        self.state = JOINED
+        self._set_state(JOINED)
         self._record_op("ring_join", pred=self.pred_address, value=self.value)
         self._start_maintenance()
         self._fire_joined()
@@ -362,7 +388,7 @@ class ChordRing:
         Section 5.1.  Returns the elapsed time (essentially zero).
         """
         started = self.sim.now
-        self.state = FREE
+        self._set_state(FREE)
         self._record_op("ring_leave", naive=True)
         duration = self.sim.now - started
         self._record("leave", duration)
@@ -654,7 +680,7 @@ class ChordRing:
         rounds.
         """
         self._record_op("value_changed", old=self.value, new=new_value)
-        self.value = new_value
+        self._set_value(new_value)
 
     # ------------------------------------------------------------------ event firing
     def _fire_joined(self) -> None:

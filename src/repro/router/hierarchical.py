@@ -42,18 +42,34 @@ class HierarchicalRingRouter(LinearRouter):
 
     # ------------------------------------------------------------------ table maintenance
     def _handle_table_entry(self, payload, request):
-        """RPC: return our routing-table entry at ``level`` (for pointer doubling)."""
+        """RPC: return a slice of our routing table starting at ``level``.
+
+        ``span`` entries are returned per request (pointer doubling used to ask
+        for one level per round trip; batching the reply halves the refresh
+        traffic, the dominant RPC at 1000+ peers).  Past the end of our table
+        the reply falls back to our first live successor, as before.
+        """
         level = payload.get("level", 0)
-        if level < len(self.table):
-            address, value = self.table[level]
-            return {"address": address, "value": value}
-        successor = self.ring.first_live_successor()
-        if successor is None:
-            return {"address": None, "value": None}
-        return {"address": successor, "value": None}
+        span = max(1, payload.get("span", 1))
+        entries = [
+            {"address": address, "value": value}
+            for address, value in self.table[level : level + span]
+        ]
+        if not entries:
+            successor = self.ring.first_live_successor()
+            if successor is not None:
+                entries.append({"address": successor, "value": None})
+        return {"entries": entries}
 
     def _refresh_table(self):
-        """Rebuild the pointer table by doubling along the ring."""
+        """Rebuild the pointer table by (batched) doubling along the ring.
+
+        Each contacted peer returns two consecutive table entries, so the
+        pointer spread stays geometric (ratios alternate ~2x and ~1.5x) at half
+        the round trips.  The walk also stops as soon as a pointer's clockwise
+        distance stops growing -- the doubling has wrapped around the ring, and
+        levels beyond that add traffic without shortening any route.
+        """
         if not self.ring.is_joined:
             return
         successor = self.ring.first_live_successor()
@@ -61,27 +77,52 @@ class HierarchicalRingRouter(LinearRouter):
             self.table = []
             return
         new_table: List[Tuple[str, float]] = []
+        seen = {self.node.address}
         current = successor
         current_value = None
         for entry in self.ring.succ_list:
             if entry.address == successor:
                 current_value = entry.value
                 break
-        for level in range(self.config.router_table_size):
-            if current is None or current == self.node.address:
+        own_value = self.ring.value
+        last_distance = -1.0
+        while len(new_table) < self.config.router_table_size:
+            if current is None or current in seen:
                 break
+            if current_value is not None:
+                distance = self._clockwise(own_value, current_value)
+                if distance <= last_distance:
+                    break  # wrapped past our own position
+                last_distance = distance
+            seen.add(current)
             new_table.append((current, current_value))
+            if len(new_table) >= self.config.router_table_size:
+                break
             try:
                 response = yield self.node.call(
-                    current, "route_table_entry", {"level": level}
+                    current, "route_table_entry", {"level": len(new_table) - 1, "span": 2}
                 )
             except RpcError:
                 break
-            next_address = response.get("address")
-            if next_address is None or next_address == self.node.address:
-                break
-            current = next_address
-            current_value = response.get("value")
+            entries = response.get("entries") or []
+            for entry in entries[:-1]:
+                address, value = entry.get("address"), entry.get("value")
+                if (
+                    address is None
+                    or address in seen
+                    or len(new_table) >= self.config.router_table_size
+                ):
+                    break
+                if value is not None:
+                    distance = self._clockwise(own_value, value)
+                    if distance <= last_distance:
+                        break
+                    last_distance = distance
+                seen.add(address)
+                new_table.append((address, value))
+            tail = entries[-1] if entries else None
+            current = tail.get("address") if tail else None
+            current_value = tail.get("value") if tail else None
         self.table = new_table
 
     # ------------------------------------------------------------------ routing

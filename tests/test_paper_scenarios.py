@@ -166,7 +166,7 @@ def test_section_4_2_2_scan_range_returns_all_live_items_despite_churn():
 
 
 # --------------------------------------------------------------------------- §5.2 / Figure 17
-def _merge_then_fail(config_overrides, seed=93):
+def _merge_then_fail(config_overrides, seed=94):
     """Figure 17's scenario: a peer merges away, then a single peer failure.
 
     With replication factor 1, the merging peer holds the only replica of its
