@@ -8,6 +8,8 @@ Examples::
     repro-run figure_19              # a paper-figure reproduction
     repro-run engine_bench           # engine-vs-seed microbench -> BENCH_engine.json
     repro-run churn_heavy --seeds 0,1,2 --processes 3
+    repro-run scale_sweep --seeds 0..4   # 5 seeds/cell; BENCH carries mean/p95
+    repro-run scale_100_wan          # the scale cell under 4-site LAN/WAN latency
 """
 
 from __future__ import annotations
@@ -20,11 +22,30 @@ from typing import List, Optional
 ENGINE_BENCH = "engine_bench"
 
 
-def _parse_seeds(text: str) -> List[int]:
-    try:
-        return [int(part) for part in text.split(",") if part.strip() != ""]
-    except ValueError:
-        raise SystemExit(f"invalid --seeds value {text!r}; expected e.g. '0' or '0,1,2'")
+def _parse_seeds(tokens: List[str]) -> List[int]:
+    """Seed lists in any of the accepted spellings: '0 1 2', '0,1,2', '0..4'."""
+    seeds: List[int] = []
+    for token in tokens:
+        for part in token.split(","):
+            part = part.strip()
+            if part == "":
+                continue
+            try:
+                if ".." in part:
+                    low, _, high = part.partition("..")
+                    first, last = int(low), int(high)
+                    if last < first:
+                        raise ValueError
+                    seeds.extend(range(first, last + 1))
+                else:
+                    seeds.append(int(part))
+            except ValueError:
+                raise SystemExit(
+                    f"invalid --seeds value {part!r}; expected e.g. '0', '0,1,2' or '0..4'"
+                )
+    if not seeds:
+        raise SystemExit("--seeds selected no seeds")
+    return seeds
 
 
 def _print_listing() -> None:
@@ -57,7 +78,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("scenario", nargs="?", help="name from the registry (see --list)")
     parser.add_argument("--list", action="store_true", help="list runnable names and exit")
-    parser.add_argument("--seeds", default="0", help="comma-separated seeds (default: 0)")
+    parser.add_argument(
+        "--seeds",
+        nargs="+",
+        default=["0"],
+        help="seeds as a list, comma list or range: '0 1 2', '0,1,2', '0..4' (default: 0)",
+    )
     parser.add_argument(
         "--processes",
         type=int,
@@ -108,8 +134,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif "figure" in cell:
             from repro.harness.reporting import format_table
 
-            print(f"{cell['figure']}: {cell['description']}")
+            print(f"{cell['figure']}: {cell['description']} [seed={cell.get('seed', '?')}]")
             print(format_table(cell["headers"], cell["rows"]))
+    aggregates = payload.get("aggregates", {})
+    if "rows" in aggregates:
+        # A multi-seed figure run: print the seed-averaged rows.
+        from repro.harness.reporting import format_table
+
+        print(f"mean over seeds {payload['seeds']}:")
+        print(format_table(aggregates["headers"], aggregates["rows"]))
+    else:
+        for scenario, stats in aggregates.items():
+            wall = stats["wall_clock_s"]
+            print(
+                f"{scenario} x{len(stats['seeds'])} seeds: "
+                f"wall mean={wall['mean']:.2f}s p95={wall['p95']:.2f}s "
+                f"rpcs mean={stats['rpc_calls']['mean']:.0f}"
+            )
     return 0
 
 

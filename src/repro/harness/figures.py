@@ -29,6 +29,7 @@ from repro.harness.experiment import ClusterExperiment
 from repro.harness.reporting import format_table
 from repro.harness.scenarios import ScenarioSpec, WorkloadSpec, build_experiment
 from repro.index.config import IndexConfig, default_config
+from repro.sim.network import LanWanLatency, NetworkConfig
 
 
 @dataclass
@@ -98,19 +99,31 @@ class FigureSweep:
     prepare: Optional[Callable[[ClusterExperiment], None]] = None
 
 
+def wan_network_config(sites: int = 4) -> NetworkConfig:
+    """The two-tier LAN/WAN channel used by the ``*_wan`` figure variants."""
+    return NetworkConfig(latency_model=LanWanLatency(sites=sites))
+
+
 def run_sweep(
     sweep: FigureSweep,
     values: Optional[Sequence] = None,
     peers: int = 18,
     items: int = 110,
     seed: int = 0,
+    network: Optional[NetworkConfig] = None,
 ) -> FigureResult:
-    """Execute a :class:`FigureSweep` and collect its rows."""
+    """Execute a :class:`FigureSweep` and collect its rows.
+
+    ``network`` overrides every cell's message channel (the WAN variants pass
+    :func:`wan_network_config`); ``None`` keeps the paper's LAN defaults.
+    """
     rows = []
     for value in values if values is not None else sweep.values:
         built: Dict[str, ClusterExperiment] = {}
         for variant in sweep.variants:
             config = sweep.config_for(seed, value)
+            if network is not None:
+                config = config.copy(network=network)
             if variant == "pepper":
                 config = config.with_pepper_protocols()
             elif variant == "naive":
@@ -312,6 +325,7 @@ def figure_23(
     items: int = 90,
     extra_peers: int = 8,
     seed: int = 23,
+    network: Optional[NetworkConfig] = None,
 ) -> FigureResult:
     """Figure 23: insertSucc time under peer failures (failure mode).
 
@@ -321,6 +335,8 @@ def figure_23(
     rows = []
     for rate in failure_rates:
         config = default_config(seed=seed + int(rate)).with_pepper_protocols()
+        if network is not None:
+            config = config.copy(network=network)
         experiment = _build(config, peers, items, seed + int(rate))
         index = experiment.index
 
@@ -359,6 +375,75 @@ def _failure_events(experiment: ClusterExperiment, rate: float, duration: float)
 
     rng = experiment.index.rngs.stream("figure23-failures")
     return failure_schedule(rate, duration, rng, start=experiment.index.sim.now + 1.0)
+
+
+# --------------------------------------------------------------------------- WAN variants
+# The same sweeps with peers spread over 4 sites and 20-80 ms cross-site
+# round-trips: the paper's cost *orderings* (PEPPER above naive, growth with
+# list length / stabilization period / failure rate) must survive WAN
+# conditions even though every absolute number scales with the round-trip.
+def _wan_result(result: FigureResult) -> FigureResult:
+    result.figure += " (WAN)"
+    result.description += " under 4-site LAN/WAN latency"
+    return result
+
+
+def figure_19_wan(
+    succ_lengths: Optional[Sequence[int]] = None,
+    peers: int = 18,
+    items: int = 110,
+    seed: int = 19,
+) -> FigureResult:
+    """Figure 19 rerun under the two-tier LAN/WAN latency model (4 sites)."""
+    return _wan_result(
+        run_sweep(
+            SWEEPS["figure_19"],
+            values=succ_lengths,
+            peers=peers,
+            items=items,
+            seed=seed,
+            network=wan_network_config(),
+        )
+    )
+
+
+def figure_20_wan(
+    stabilization_periods: Optional[Sequence[float]] = None,
+    peers: int = 18,
+    items: int = 110,
+    seed: int = 20,
+) -> FigureResult:
+    """Figure 20 rerun under the two-tier LAN/WAN latency model (4 sites)."""
+    return _wan_result(
+        run_sweep(
+            SWEEPS["figure_20"],
+            values=stabilization_periods,
+            peers=peers,
+            items=items,
+            seed=seed,
+            network=wan_network_config(),
+        )
+    )
+
+
+def figure_23_wan(
+    failure_rates: Sequence[float] = (0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0),
+    peers: int = 14,
+    items: int = 90,
+    extra_peers: int = 8,
+    seed: int = 23,
+) -> FigureResult:
+    """Figure 23 rerun under the two-tier LAN/WAN latency model (4 sites)."""
+    return _wan_result(
+        figure_23(
+            failure_rates,
+            peers=peers,
+            items=items,
+            extra_peers=extra_peers,
+            seed=seed,
+            network=wan_network_config(),
+        )
+    )
 
 
 # --------------------------------------------------------------------------- Ablation A1
@@ -481,10 +566,13 @@ def ablation_availability(
 # --------------------------------------------------------------------------- registry
 ALL_FIGURES = {
     "figure_19": figure_19,
+    "figure_19_wan": figure_19_wan,
     "figure_20": figure_20,
+    "figure_20_wan": figure_20_wan,
     "figure_21": figure_21,
     "figure_22": figure_22,
     "figure_23": figure_23,
+    "figure_23_wan": figure_23_wan,
     "ablation_query_correctness": ablation_query_correctness,
     "ablation_availability": ablation_availability,
 }

@@ -2,8 +2,19 @@
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
+
+
+def nearest_rank(ordered: Sequence[float], fraction: float) -> float:
+    """The ``fraction`` percentile (0..1) of a sorted, non-empty sample.
+
+    The single nearest-rank convention shared by metric summaries and the
+    runner's cross-seed BENCH aggregates, so the two never disagree.
+    """
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
 
 
 @dataclass
@@ -59,8 +70,7 @@ class Metrics:
         values = sorted(self._series.get(name, ()))
         if not values:
             return None
-        index = min(len(values) - 1, int(round(fraction * (len(values) - 1))))
-        return values[index]
+        return nearest_rank(values, fraction)
 
     def summary(self, name: str) -> Optional[MetricSummary]:
         """Summary statistics for the named series, or ``None`` if empty."""
@@ -74,8 +84,26 @@ class Metrics:
             minimum=values[0],
             maximum=values[-1],
             p50=values[len(values) // 2],
-            p95=values[min(len(values) - 1, int(round(0.95 * (len(values) - 1))))],
+            p95=nearest_rank(values, 0.95),
         )
+
+    def histogram(self, name: str, bounds: Sequence[float]) -> Dict[str, int]:
+        """Bucketed counts of the named series (empty dict if no observations).
+
+        ``bounds`` are inclusive upper bucket edges; one overflow bucket
+        catches everything beyond the last edge.  Bucket labels are ordered
+        ``<=edge`` strings plus a final ``>edge``, so the dict renders as a
+        readable histogram in BENCH JSON.
+        """
+        values = self._series.get(name)
+        if not values:
+            return {}
+        edges = sorted(bounds)
+        counts = [0] * (len(edges) + 1)
+        for value in values:
+            counts[bisect_left(edges, value)] += 1
+        labels = [f"<={edge:g}" for edge in edges] + [f">{edges[-1]:g}"]
+        return dict(zip(labels, counts))
 
     def names(self) -> List[str]:
         """All series names with at least one observation."""

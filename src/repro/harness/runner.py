@@ -9,18 +9,29 @@ and spawn start methods) and returns a plain dict.
 Every run is summarised into ``BENCH_<name>.json`` so the performance
 trajectory of the repository is tracked from this PR onward: wall-clock,
 simulated seconds, engine events per wall second, ring size, RPC volume.
+
+Multi-seed runs are first-class: the runner executes the scenario x seed
+cross product and the BENCH envelope carries, next to the raw per-cell
+results, per-scenario mean/p95/min/max aggregates over the seeds (see
+:func:`aggregate_cells`) -- every number becomes a distribution instead of a
+single seed-0 point.  Figures honour multi-seed too: each requested seed is
+run as the figure's default seed plus that offset (so ``--seeds 0`` remains
+byte-identical to the historical single run) and matching rows are averaged.
 """
 
 from __future__ import annotations
 
+import inspect
 import json
 import os
 import platform
 import sys
+import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.harness.metrics import nearest_rank
 from repro.harness.scenarios import (
     ScenarioResult,
     get_scenario,
@@ -76,15 +87,155 @@ def write_bench(name: str, payload: Dict[str, Any], out_dir: str = ".") -> Path:
     return path
 
 
-def _cells_summary(cells: List[Dict[str, Any]]) -> Dict[str, Any]:
+def _cells_summary(
+    cells: List[Dict[str, Any]], elapsed_s: Optional[float] = None
+) -> Dict[str, Any]:
+    """Totals over a batch of cells.
+
+    ``total_wall_clock_s`` sums the per-cell clocks, which overlap when cells
+    ran in a process pool -- dividing by it *understates* real throughput, so
+    the summary reports both views: ``events_per_cell_wall_s`` (per-cell
+    aggregate, comparable across pool sizes) and ``events_per_wall_s`` over
+    the actual elapsed pool wall time when the caller measured it.
+    """
     total_wall = sum(cell["wall_clock_s"] for cell in cells)
     total_events = sum(cell["events_processed"] for cell in cells)
-    return {
+    summary = {
         "cells": len(cells),
         "total_wall_clock_s": round(total_wall, 3),
         "total_events_processed": total_events,
-        "events_per_wall_s": round(total_events / total_wall) if total_wall else 0,
+        "events_per_cell_wall_s": round(total_events / total_wall) if total_wall else 0,
     }
+    if elapsed_s is not None:
+        summary["elapsed_wall_clock_s"] = round(elapsed_s, 3)
+        summary["events_per_wall_s"] = round(total_events / elapsed_s) if elapsed_s else 0
+    return summary
+
+
+# Per-cell measurements aggregated across seeds into the BENCH envelope.
+_AGGREGATED_FIELDS = (
+    "wall_clock_s",
+    "events_processed",
+    "events_per_wall_s",
+    "rpc_calls",
+    "rpc_timeouts",
+    "messages_sent",
+    "query_mean_elapsed_s",
+    "query_mean_hops",
+)
+
+
+def _stats(values: Sequence[float]) -> Dict[str, float]:
+    """mean/p95/min/max of a non-empty sample (nearest-rank p95)."""
+    ordered = sorted(values)
+    return {
+        "mean": round(sum(ordered) / len(ordered), 6),
+        "p95": round(nearest_rank(ordered, 0.95), 6),
+        "min": round(ordered[0], 6),
+        "max": round(ordered[-1], 6),
+    }
+
+
+def aggregate_cells(cells: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Per-scenario mean/p95/min/max over seeds for the standard measurements."""
+    by_scenario: Dict[str, List[Dict[str, Any]]] = {}
+    for cell in cells:
+        by_scenario.setdefault(cell["scenario"], []).append(cell)
+    return {
+        scenario: {
+            "seeds": [cell["seed"] for cell in group],
+            **{
+                field: _stats([cell[field] for cell in group])
+                for field in _AGGREGATED_FIELDS
+            },
+        }
+        for scenario, group in by_scenario.items()
+    }
+
+
+# --------------------------------------------------------------------------- figures
+def _figure_seed(name: str, offset: int) -> int:
+    """The effective seed of a figure run: the figure's default plus ``offset``.
+
+    Figures historically pin their own seed (figure_19 runs at seed 19, ...);
+    offsetting keeps ``seeds=[0]`` byte-identical to those single runs while
+    giving multi-seed sweeps distinct, reproducible deployments.
+    """
+    from repro.harness.figures import ALL_FIGURES
+
+    default = inspect.signature(ALL_FIGURES[name]).parameters["seed"].default
+    return default + offset
+
+
+def run_figure_cell(cell: Tuple[str, int]) -> Dict[str, Any]:
+    """Execute one ``(figure_name, seed_offset)`` cell.  Top-level for picklability."""
+    from repro.harness.figures import ALL_FIGURES
+
+    name, offset = cell
+    seed = _figure_seed(name, offset)
+    started = time.perf_counter()
+    figure = ALL_FIGURES[name](seed=seed)
+    result = figure.as_dict()
+    result["seed"] = seed
+    result["seed_offset"] = offset
+    result["wall_clock_s"] = round(time.perf_counter() - started, 3)
+    return result
+
+
+def _aggregate_figure_rows(results: List[Dict[str, Any]]) -> List[List[Any]]:
+    """Average matching rows (same first column) elementwise across seed runs."""
+    grouped: Dict[Any, List[Sequence[Any]]] = {}
+    order: List[Any] = []
+    for result in results:
+        for row in result["rows"]:
+            key = row[0]
+            if key not in grouped:
+                grouped[key] = []
+                order.append(key)
+            grouped[key].append(row)
+    rows = []
+    for key in order:
+        group = grouped[key]
+        width = max(len(row) for row in group)
+        averaged: List[Any] = [key]
+        for column in range(1, width):
+            values = [
+                row[column]
+                for row in group
+                if len(row) > column and isinstance(row[column], (int, float))
+            ]
+            averaged.append(round(sum(values) / len(values), 6) if values else None)
+        rows.append(averaged)
+    return rows
+
+
+def _run_figure(
+    name: str, seeds: Sequence[int], processes: Optional[int]
+) -> Dict[str, Any]:
+    """Run a figure once per seed offset, optionally fanned across a pool."""
+    cells = [(name, offset) for offset in seeds]
+    started = time.perf_counter()
+    if processes is None:
+        processes = min(len(cells), os.cpu_count() or 1)
+    if processes <= 1 or len(cells) <= 1:
+        results = [run_figure_cell(cell) for cell in cells]
+    else:
+        with ProcessPoolExecutor(max_workers=processes) as pool:
+            results = list(pool.map(run_figure_cell, cells))
+    payload: Dict[str, Any] = {
+        "summary": {
+            "wall_clock_s": round(time.perf_counter() - started, 3),
+            "figure_runs": len(results),
+        },
+        "seeds": [result["seed"] for result in results],
+        "results": results,
+    }
+    if len(results) > 1:
+        payload["aggregates"] = {
+            "headers": list(results[0]["headers"]),
+            "rows": _aggregate_figure_rows(results),
+        }
+    return payload
 
 
 def run_named(
@@ -93,33 +244,43 @@ def run_named(
     processes: Optional[int] = None,
     out_dir: Optional[str] = ".",
 ) -> Dict[str, Any]:
-    """Run a registered scenario or suite by name; emit its BENCH json.
+    """Run a registered scenario, suite or figure by name; emit its BENCH json.
 
-    Returns the emitted document (also written to ``BENCH_<name>.json`` unless
-    ``out_dir`` is ``None``).
+    Scenario and suite runs execute the full ``scenarios x seeds`` cross
+    product and carry per-scenario aggregates; figure runs execute once per
+    seed offset (see :func:`_figure_seed`).  Returns the emitted document
+    (also written to ``BENCH_<name>.json`` unless ``out_dir`` is ``None``).
     """
     from repro.harness.figures import ALL_FIGURES  # deferred: figures import the harness
 
+    seeds = list(seeds)
     if name in suite_names():
         suite = get_suite(name)
-        cells = run_cells(suite.scenarios, seeds=seeds, processes=processes)
-        bench_name = suite.bench_name or suite.name
-        payload = {"summary": _cells_summary(cells), "results": cells}
-    elif name in ALL_FIGURES:
-        import time
-
         started = time.perf_counter()
-        figure = ALL_FIGURES[name]()
+        cells = run_cells(suite.scenarios, seeds=seeds, processes=processes)
+        elapsed = time.perf_counter() - started
+        bench_name = suite.bench_name or suite.name
         payload = {
-            "summary": {"wall_clock_s": round(time.perf_counter() - started, 3)},
-            "results": [figure.as_dict()],
+            "summary": _cells_summary(cells, elapsed),
+            "seeds": seeds,
+            "aggregates": aggregate_cells(cells),
+            "results": cells,
         }
+    elif name in ALL_FIGURES:
+        payload = _run_figure(name, seeds, processes)
         bench_name = name
     else:
         get_scenario(name)
+        started = time.perf_counter()
         cells = run_cells([name], seeds=seeds, processes=processes)
+        elapsed = time.perf_counter() - started
         bench_name = name
-        payload = {"summary": _cells_summary(cells), "results": cells}
+        payload = {
+            "summary": _cells_summary(cells, elapsed),
+            "seeds": seeds,
+            "aggregates": aggregate_cells(cells),
+            "results": cells,
+        }
     if out_dir is not None:
         write_bench(bench_name, payload, out_dir=out_dir)
     return payload

@@ -28,6 +28,12 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.harness.experiment import ClusterExperiment, ExperimentSettings
 from repro.index.config import IndexConfig, default_config
+from repro.sim.network import (
+    CROSS_SITE_LATENCY_METRIC,
+    INTRA_SITE_LATENCY_METRIC,
+    LatencyModel,
+    latency_model_from_params,
+)
 from repro.workloads.churn import (
     ChurnSchedule,
     correlated_failure_schedule,
@@ -77,6 +83,28 @@ class QueryMixSpec:
 
 
 @dataclass(frozen=True)
+class LatencySpec:
+    """The network conditions of a scenario.
+
+    ``model`` names a registered latency model (``constant`` / ``uniform`` /
+    ``lan_wan``); ``None`` keeps whatever the resolved :class:`IndexConfig`
+    already carries (the paper's LAN bounds by default).  ``params`` are flat
+    keyword arguments for the model -- ``lan_wan`` takes ``sites`` plus the
+    flattened ``lan_low``/``lan_high``/``wan_low``/``wan_high`` bounds (see
+    :func:`repro.sim.network.latency_model_from_params`).
+    """
+
+    model: Optional[str] = None
+    params: Mapping = field(default_factory=dict)
+
+    def build_model(self) -> Optional[LatencyModel]:
+        """Instantiate (and validate) the configured model, or ``None``."""
+        if self.model is None:
+            return None
+        return latency_model_from_params(self.model, **dict(self.params))
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete, named description of one experiment cell."""
 
@@ -90,6 +118,7 @@ class ScenarioSpec:
     workload: WorkloadSpec = WorkloadSpec()
     churn: ChurnSpec = ChurnSpec()
     queries: QueryMixSpec = QueryMixSpec()
+    latency: LatencySpec = LatencySpec()
     config: Mapping = field(default_factory=dict)  # IndexConfig field overrides
     base_config: Optional[IndexConfig] = None  # full config object (figures use this)
 
@@ -101,6 +130,11 @@ class ScenarioSpec:
             config = self.base_config.copy(seed=seed, **dict(self.config))
         else:
             config = default_config(seed=seed, **dict(self.config))
+        latency_model = self.latency.build_model()
+        if latency_model is not None:
+            config = config.copy(
+                network=replace(config.network, latency_model=latency_model)
+            )
         if self.protocols == "pepper":
             config = config.with_pepper_protocols()
         elif self.protocols == "naive":
@@ -153,6 +187,9 @@ class ScenarioResult:
     query_mean_hops: float = 0.0
     correlated_failures_injected: int = 0
     metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    # Site-aware network diagnostics (populated only under a lan_wan model).
+    per_site_rpcs: Dict[str, int] = field(default_factory=dict)
+    latency_histograms: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -160,7 +197,19 @@ class ScenarioResult:
 
 # --------------------------------------------------------------------------- execution
 # Metric series summarised into every result (when observed during the run).
-_REPORTED_METRICS = ("insert_succ", "split", "merge", "leave", "route_hops")
+_REPORTED_METRICS = (
+    "insert_succ",
+    "split",
+    "merge",
+    "leave",
+    "route_hops",
+    INTRA_SITE_LATENCY_METRIC,
+    CROSS_SITE_LATENCY_METRIC,
+)
+
+# Histogram bucket edges (seconds) for the per-message latency series: the
+# first three cover the paper's LAN band, the rest the WAN round-trip band.
+LATENCY_HISTOGRAM_EDGES = (0.001, 0.003, 0.01, 0.03, 0.06, 0.1)
 
 
 def build_experiment(spec: ScenarioSpec, seed: Optional[int] = None) -> ClusterExperiment:
@@ -218,6 +267,11 @@ def run_spec(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResult:
         summary = index.metrics.summary(name)
         if summary is not None:
             metrics[name] = summary.as_dict()
+    latency_histograms = {}
+    for name in (INTRA_SITE_LATENCY_METRIC, CROSS_SITE_LATENCY_METRIC):
+        histogram = index.metrics.histogram(name, LATENCY_HISTOGRAM_EDGES)
+        if histogram:
+            latency_histograms[name] = histogram
 
     return ScenarioResult(
         scenario=spec.name,
@@ -244,6 +298,8 @@ def run_spec(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResult:
         ),
         correlated_failures_injected=len(correlated),
         metrics=metrics,
+        per_site_rpcs=dict(index.network.stats.per_site_rpcs),
+        latency_histograms=latency_histograms,
     )
 
 
@@ -418,5 +474,35 @@ register_suite(
         scenarios=("scale_100", "scale_300", "scale_1000", "scale_3000"),
         description="wall-clock and event-throughput across 100/300/1000/3000 peers",
         bench_name="scale",
+    )
+)
+
+# ---- WAN conditions --------------------------------------------------------
+# The same scale cells under the two-tier LAN/WAN latency model: peers hash
+# into 4 sites, cross-site messages pay a 20-80 ms round trip instead of the
+# paper's sub-3 ms LAN.  Hop-count and maintenance-cost claims only matter if
+# they survive this regime (cf. Chord's WAN evaluation); the cells also feed
+# the per-site RPC counts and intra/cross-site latency histograms.
+WAN_LATENCY = LatencySpec(model="lan_wan", params={"sites": 4})
+
+
+def _wan_variant(base_name: str) -> ScenarioSpec:
+    base = get_scenario(base_name)
+    return base.with_(
+        name=f"{base_name}_wan",
+        description=f"{base.description}, 4-site LAN/WAN latency",
+        latency=WAN_LATENCY,
+    )
+
+
+register(_wan_variant("scale_100"))
+register(_wan_variant("scale_300"))
+register(_wan_variant("scale_1000"))
+register_suite(
+    ScenarioSuite(
+        name="scale_sweep_wan",
+        scenarios=("scale_100_wan", "scale_300_wan", "scale_1000_wan"),
+        description="the scaling sweep under 4-site LAN/WAN cross-site latency",
+        bench_name="scale_wan",
     )
 )

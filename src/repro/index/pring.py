@@ -36,8 +36,12 @@ class PRingIndex:
         self.config.validate()
         self.sim = Simulator()
         self.rngs = RngStreams(self.config.seed)
-        self.network = Network(self.sim, self.rngs.stream("network"), self.config.network)
         self.metrics = Metrics()
+        # The network observes intra- vs cross-site latency into the shared
+        # collector when the configured latency model is site-aware.
+        self.network = Network(
+            self.sim, self.rngs.stream("network"), self.config.network, metrics=self.metrics
+        )
         self.history = HistoryRecorder(self.sim)
         self.pool = FreePeerPool(self.sim, self.network, address="pool")
         self.peers: Dict[str, IndexPeer] = {}

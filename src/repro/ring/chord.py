@@ -237,8 +237,16 @@ class ChordRing:
             self._joined_event = self.sim.event()
         self._record_op("ring_init_join", predecessor=predecessor_address)
         attempts = 0
+        previous_contact: Optional[str] = None  # redirect memory (breaks 2-cycles)
         while not self._joined_event.triggered:
             attempts += 1
+            if attempts > 20:
+                # Every iteration -- including pure redirects -- counts against
+                # the cap, so a cyclic chain of stale pointers (the
+                # ``ring_insert_successor`` redirect storm under flash crowds)
+                # aborts instead of spinning forever.
+                self._set_state(FREE)
+                raise RuntimeError(f"{self.address}: could not join the ring")
             try:
                 response = yield self.node.call(
                     predecessor_address,
@@ -253,6 +261,12 @@ class ChordRing:
                     # Our value does not fit right after the contacted peer
                     # (its predecessor pointer was stale when the split chose
                     # it); walk towards the correct insertion point.
+                    if redirect == previous_contact:
+                        # A -> B -> A: both pointers are stale.  Give the ring
+                        # a stabilization breather before following the cycle
+                        # again instead of ping-ponging at network speed.
+                        yield self.sim.timeout(self.config.stabilization_period / 4)
+                    previous_contact = predecessor_address
                     predecessor_address = redirect
                     continue
                 if response.get("state") == FREE:
@@ -270,9 +284,6 @@ class ChordRing:
             # predecessor may have failed mid-protocol).
             wait = self.sim.timeout(self.config.join_ack_timeout * 2)
             yield self.sim.any_of([self._joined_event, wait])
-            if attempts > 20 and not self._joined_event.triggered:
-                self._set_state(FREE)
-                raise RuntimeError(f"{self.address}: could not join the ring")
         duration = self.sim.now - started
         self._record_op("ring_joined", value=self.value, duration=duration)
         return duration

@@ -136,6 +136,40 @@ LATENCY_MODELS = {
 }
 
 
+def latency_model_from_params(name: str, **params) -> LatencyModel:
+    """Instantiate a registered latency model from flat keyword parameters.
+
+    Scenario specs describe the network as JSON-able mappings, so the nested
+    :class:`UniformLatency` objects of ``lan_wan`` cannot appear there
+    directly; this factory accepts the flattened ``lan_low`` / ``lan_high`` /
+    ``wan_low`` / ``wan_high`` bounds instead.  The returned model is
+    validated.
+    """
+    if name not in LATENCY_MODELS:
+        raise ValueError(
+            f"unknown latency model {name!r}; known: {', '.join(sorted(LATENCY_MODELS))}"
+        )
+    if name == "lan_wan":
+        defaults = LanWanLatency()
+        model: LatencyModel = LanWanLatency(
+            sites=params.pop("sites", defaults.sites),
+            lan=UniformLatency(
+                params.pop("lan_low", defaults.lan.low),
+                params.pop("lan_high", defaults.lan.high),
+            ),
+            wan=UniformLatency(
+                params.pop("wan_low", defaults.wan.low),
+                params.pop("wan_high", defaults.wan.high),
+            ),
+        )
+        if params:
+            raise ValueError(f"unknown lan_wan parameters: {', '.join(sorted(params))}")
+    else:
+        model = LATENCY_MODELS[name](**params)
+    model.validate()
+    return model
+
+
 @dataclass
 class NetworkConfig:
     """Tunable parameters of the message channel.
@@ -193,18 +227,41 @@ class NetworkStats:
     rpc_timeouts: int = 0
     delivery_batches: int = 0
     per_method: Dict[str, int] = field(default_factory=dict)
+    # RPCs per originating site (only populated under a LanWanLatency model).
+    per_site_rpcs: Dict[str, int] = field(default_factory=dict)
 
     def record_call(self, method: str) -> None:
         self.rpc_calls += 1
         self.per_method[method] = self.per_method.get(method, 0) + 1
 
 
-class Network:
-    """Connects :class:`~repro.sim.node.Node` instances by address."""
+# Metric series fed to an attached collector under a LanWanLatency model.
+INTRA_SITE_LATENCY_METRIC = "net_latency_intra_site"
+CROSS_SITE_LATENCY_METRIC = "net_latency_cross_site"
 
-    def __init__(self, sim: Simulator, rng, config: Optional[NetworkConfig] = None):
+
+class Network:
+    """Connects :class:`~repro.sim.node.Node` instances by address.
+
+    ``metrics`` is an optional collector (anything with a
+    ``record(name, value)`` method, e.g. :class:`repro.harness.metrics.Metrics`).
+    When the resolved latency model is site-aware (:class:`LanWanLatency`),
+    every message's sampled latency is recorded into the intra-site or
+    cross-site series so WAN experiments can report latency histograms, and
+    ``stats.per_site_rpcs`` counts RPCs by originating site.  Other models pay
+    no per-message overhead.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng,
+        config: Optional[NetworkConfig] = None,
+        metrics=None,
+    ):
         self.sim = sim
         self.rng = rng
+        self.metrics = metrics
         self.config = config or NetworkConfig()
         self.config.validate()
         self.reconfigure()
@@ -247,12 +304,27 @@ class Network:
             if isinstance(self.latency_model, ConstantLatency)
             else None
         )
+        # Site-aware instrumentation only exists under a two-tier model.
+        self._site_of: Optional[Callable[[str], int]] = (
+            self.latency_model.site_of
+            if isinstance(self.latency_model, LanWanLatency)
+            else None
+        )
 
     def _latency(self, source: str, destination: str) -> float:
         fixed = self._fixed_latency
         if fixed is not None:
             return fixed
-        return self.latency_model.sample(self.rng, source, destination)
+        latency = self.latency_model.sample(self.rng, source, destination)
+        site_of = self._site_of
+        if site_of is not None and self.metrics is not None:
+            self.metrics.record(
+                INTRA_SITE_LATENCY_METRIC
+                if site_of(source) == site_of(destination)
+                else CROSS_SITE_LATENCY_METRIC,
+                latency,
+            )
+        return latency
 
     def _dropped(self) -> bool:
         prob = self.config.drop_probability
@@ -291,6 +363,11 @@ class Network:
         timeout = self.config.rpc_timeout if timeout is None else timeout
         result = self.sim.event()
         self.stats.record_call(method)
+        site_of = self._site_of
+        if site_of is not None:
+            key = f"site{site_of(source)}"
+            per_site = self.stats.per_site_rpcs
+            per_site[key] = per_site.get(key, 0) + 1
         self._next_request_id += 1
         request = RpcRequest(
             source=source,

@@ -29,12 +29,22 @@ class ChurnEvent:
 
 @dataclass
 class ChurnSchedule:
-    """An ordered list of churn events."""
+    """A time-ordered list of churn events.
+
+    ``events`` is sorted once at construction (stably, so equal-time events
+    keep their given order) rather than on every iteration -- the membership
+    driver iterates schedules with thousands of events at scale.  The list is
+    owned by the schedule after construction; build a new schedule instead of
+    mutating it.
+    """
 
     events: List[ChurnEvent]
 
+    def __post_init__(self):
+        self.events = sorted(self.events, key=lambda event: event.time)
+
     def __iter__(self) -> Iterator[ChurnEvent]:
-        return iter(sorted(self.events, key=lambda event: event.time))
+        return iter(self.events)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -42,10 +52,14 @@ class ChurnSchedule:
     @property
     def duration(self) -> float:
         """Time of the last scheduled event."""
-        return max((event.time for event in self.events), default=0.0)
+        return self.events[-1].time if self.events else 0.0
 
     def merged_with(self, other: "ChurnSchedule") -> "ChurnSchedule":
-        """Combine two schedules."""
+        """Combine two schedules, keeping the merged events time-ordered.
+
+        Both inputs are already sorted, so the constructor's stable sort is a
+        linear merge pass; at equal times ``self``'s events come first.
+        """
         return ChurnSchedule(self.events + other.events)
 
 

@@ -19,6 +19,7 @@ from repro.sim.network import (
     LanWanLatency,
     NetworkConfig,
     UniformLatency,
+    latency_model_from_params,
 )
 
 
@@ -110,6 +111,47 @@ def test_lan_wan_is_seeded_deterministic():
 def test_lan_wan_rejects_zero_sites():
     with pytest.raises(ValueError):
         LanWanLatency(sites=0).validate()
+
+
+def test_lan_wan_single_site_degenerates_to_pure_lan():
+    model = LanWanLatency(
+        sites=1,
+        lan=UniformLatency(0.0005, 0.003),
+        wan=UniformLatency(0.02, 0.08),
+    )
+    model.validate()
+    rng = random.Random(11)
+    addresses = [f"peer{i:03d}" for i in range(20)]
+    for source in addresses:
+        for destination in addresses:
+            assert model.site_of(source) == 0 == model.site_of(destination)
+            assert 0.0005 <= model.sample(rng, source, destination) <= 0.003
+
+
+# --------------------------------------------------------------------------- flat-params factory
+def test_latency_model_from_params_builds_each_model():
+    constant = latency_model_from_params("constant", value=0.002)
+    assert isinstance(constant, ConstantLatency) and constant.value == 0.002
+    uniform = latency_model_from_params("uniform", low=0.001, high=0.004)
+    assert isinstance(uniform, UniformLatency) and uniform.high == 0.004
+    wan = latency_model_from_params(
+        "lan_wan", sites=3, lan_low=0.001, lan_high=0.002, wan_low=0.05, wan_high=0.09
+    )
+    assert isinstance(wan, LanWanLatency)
+    assert wan.sites == 3
+    assert (wan.lan.low, wan.lan.high) == (0.001, 0.002)
+    assert (wan.wan.low, wan.wan.high) == (0.05, 0.09)
+
+
+def test_latency_model_from_params_defaults_and_errors():
+    wan = latency_model_from_params("lan_wan")
+    assert wan == LanWanLatency()
+    with pytest.raises(ValueError, match="unknown latency model"):
+        latency_model_from_params("satellite")
+    with pytest.raises(ValueError, match="unknown lan_wan parameters"):
+        latency_model_from_params("lan_wan", sites=2, bogus=1)
+    with pytest.raises(ValueError):  # validation runs on the built model
+        latency_model_from_params("constant", value=-1.0)
 
 
 # --------------------------------------------------------------------------- config resolution

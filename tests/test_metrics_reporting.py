@@ -45,6 +45,20 @@ def test_percentile_bounds():
     assert metrics.percentile("x", 1.0) == 5.0
 
 
+def test_histogram_buckets_and_labels():
+    metrics = Metrics()
+    for value in (0.0005, 0.001, 0.002, 0.05, 0.5):
+        metrics.record("latency", value)
+    histogram = metrics.histogram("latency", (0.001, 0.01, 0.1))
+    assert list(histogram) == ["<=0.001", "<=0.01", "<=0.1", ">0.1"]
+    # Edges are inclusive: 0.001 lands in the first bucket.
+    assert histogram == {"<=0.001": 2, "<=0.01": 1, "<=0.1": 1, ">0.1": 1}
+
+
+def test_histogram_empty_series_is_empty_dict():
+    assert Metrics().histogram("missing", (1.0, 2.0)) == {}
+
+
 def test_names_and_merge():
     first = Metrics()
     first.record("a", 1.0)

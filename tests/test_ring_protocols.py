@@ -178,6 +178,40 @@ def test_insert_redirect_when_contacting_wrong_predecessor():
     assert check_consistent_successor_pointers(harness.live()).ok
 
 
+class RedirectingStub(Node):
+    """A forged ring member whose insertSucc always redirects to a fixed partner."""
+
+    def __init__(self, sim, network, address):
+        super().__init__(sim, network, address)
+        self.partner = None
+        self.requests = 0
+        self.register_handler("ring_insert_successor", self._redirect)
+
+    def _redirect(self, payload, request):
+        self.requests += 1
+        return {"accepted": False, "state": JOINED, "redirect": self.partner}
+
+
+def test_join_redirect_cycle_aborts_instead_of_spinning():
+    """A cyclic stale-pointer redirect chain (A -> B -> A) must hit the attempt
+    cap and abort -- the ``ring_insert_successor`` redirect storm seen under
+    flash crowds.  Before the fix the redirect path skipped the cap check, so
+    this join spun forever."""
+    harness = RingHarness(ring_class=ChordRing)
+    a = RedirectingStub(harness.sim, harness.network, "stubA")
+    b = RedirectingStub(harness.sim, harness.network, "stubB")
+    a.partner, b.partner = "stubB", "stubA"
+    joiner = RingPeer(harness.sim, harness.network, "joiner", 500.0, harness.config, ChordRing)
+    with pytest.raises(RuntimeError, match="could not join"):
+        harness.sim.run_process(joiner.ring.join("stubA"), timeout=500.0)
+    assert joiner.ring.state == FREE
+    # The cap bounds the storm: at most 20 insert attempts reach the ring.
+    assert a.requests + b.requests <= 20
+    # The 2-cycle redirect memory backs off between laps instead of
+    # ping-ponging at network speed: simulated time actually advanced.
+    assert harness.sim.now > 5.0
+
+
 # --------------------------------------------------------------------------- failures
 def test_failure_detection_repairs_ring():
     harness = RingHarness(ring_class=PepperRing)

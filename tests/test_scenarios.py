@@ -4,9 +4,19 @@ import json
 
 import pytest
 
-from repro.harness.runner import known_names, run_cells, run_named, write_bench
+from repro.cli import _parse_seeds
+from repro.harness.figures import FigureResult
+from repro.harness.runner import (
+    _cells_summary,
+    aggregate_cells,
+    known_names,
+    run_cells,
+    run_named,
+    write_bench,
+)
 from repro.harness.scenarios import (
     ChurnSpec,
+    LatencySpec,
     QueryMixSpec,
     ScenarioSpec,
     WorkloadSpec,
@@ -18,6 +28,7 @@ from repro.harness.scenarios import (
     scenario_names,
     suite_names,
 )
+from repro.sim.network import LanWanLatency, UniformLatency
 
 
 TINY = ScenarioSpec(
@@ -99,6 +110,39 @@ def test_spec_settings_carry_workload_shape():
     assert settings.seed == 2
 
 
+def test_wan_scenarios_and_suite_registered():
+    for expected in ("scale_100_wan", "scale_300_wan", "scale_1000_wan"):
+        assert expected in scenario_names()
+    suite = get_suite("scale_sweep_wan")
+    assert suite.scenarios == ("scale_100_wan", "scale_300_wan", "scale_1000_wan")
+    assert suite.bench_name == "scale_wan"
+
+
+def test_latency_spec_resolves_into_network_config():
+    spec = TINY.with_(
+        latency=LatencySpec(
+            model="lan_wan",
+            params={"sites": 3, "wan_low": 0.04, "wan_high": 0.09},
+        )
+    )
+    config = spec.index_config()
+    model = config.network.latency_model
+    assert isinstance(model, LanWanLatency)
+    assert model.sites == 3
+    assert (model.wan.low, model.wan.high) == (0.04, 0.09)
+    # The default spec leaves the network untouched (legacy uniform bounds).
+    assert TINY.index_config().network.latency_model is None
+    with pytest.raises(ValueError, match="unknown latency model"):
+        TINY.with_(latency=LatencySpec(model="bogus")).index_config()
+
+
+def test_latency_spec_uniform_model():
+    spec = TINY.with_(latency=LatencySpec(model="uniform", params={"low": 0.001, "high": 0.002}))
+    model = spec.index_config().network.latency_model
+    assert isinstance(model, UniformLatency)
+    assert (model.low, model.high) == (0.001, 0.002)
+
+
 def test_flash_crowd_spec_merges_into_build_schedule():
     spec = TINY.with_(churn=ChurnSpec(flash_crowd_peers=4, flash_crowd_at=2.0))
     experiment = build_experiment(spec)
@@ -143,6 +187,34 @@ def test_correlated_failures_phase_kills_members():
     assert result.correlated_failures_injected == 2
 
 
+def test_run_spec_wan_records_site_diagnostics():
+    spec = TINY.with_(
+        name="tiny-wan",
+        latency=LatencySpec(model="lan_wan", params={"sites": 3}),
+    )
+    result = run_spec(spec, seed=0)
+    # RPCs are attributed to originating sites and sum to the RPC total.
+    assert result.per_site_rpcs
+    assert all(key.startswith("site") for key in result.per_site_rpcs)
+    assert sum(result.per_site_rpcs.values()) == result.rpc_calls
+    # Cross-site latency stats are summarised and histogrammed.
+    assert "net_latency_cross_site" in result.metrics
+    assert result.metrics["net_latency_cross_site"]["mean"] >= 0.02
+    assert "net_latency_intra_site" in result.metrics
+    assert result.metrics["net_latency_intra_site"]["mean"] <= 0.003
+    assert "net_latency_cross_site" in result.latency_histograms
+    histogram = result.latency_histograms["net_latency_cross_site"]
+    assert sum(histogram.values()) == result.metrics["net_latency_cross_site"]["count"]
+    json.dumps(result.as_dict())
+
+
+def test_run_spec_lan_results_carry_no_site_diagnostics():
+    result = run_spec(TINY, seed=0)
+    assert result.per_site_rpcs == {}
+    assert result.latency_histograms == {}
+    assert "net_latency_cross_site" not in result.metrics
+
+
 # --------------------------------------------------------------------------- runner + BENCH emission
 def test_run_cells_serial_and_bench_write(tmp_path):
     cells = run_cells(["smoke"], seeds=[0, 1], processes=1)
@@ -163,3 +235,119 @@ def test_run_named_scenario_writes_bench_json(tmp_path):
 def test_run_named_unknown_name_raises():
     with pytest.raises(KeyError):
         run_named("definitely_not_registered", out_dir=None)
+
+
+# --------------------------------------------------------------------------- multi-seed aggregation
+def test_cells_summary_reports_both_throughput_views():
+    cells = [
+        {"wall_clock_s": 2.0, "events_processed": 1000},
+        {"wall_clock_s": 2.0, "events_processed": 1000},
+    ]
+    # Two cells that ran concurrently: 4 s of per-cell clock, 2 s of real time.
+    summary = _cells_summary(cells, elapsed_s=2.0)
+    assert summary["total_wall_clock_s"] == 4.0
+    assert summary["events_per_cell_wall_s"] == 500
+    assert summary["elapsed_wall_clock_s"] == 2.0
+    assert summary["events_per_wall_s"] == 1000  # real pool throughput
+    # Without a measured elapsed time only the per-cell view is reported.
+    assert "events_per_wall_s" not in _cells_summary(cells)
+
+
+def test_aggregate_cells_per_scenario_stats():
+    def cell(scenario, seed, wall):
+        return {
+            "scenario": scenario,
+            "seed": seed,
+            "wall_clock_s": wall,
+            "events_processed": 100 * (seed + 1),
+            "events_per_wall_s": 10.0,
+            "rpc_calls": 50,
+            "rpc_timeouts": seed,
+            "messages_sent": 200,
+            "query_mean_elapsed_s": 0.1 * (seed + 1),
+            "query_mean_hops": 2.0,
+        }
+
+    cells = [cell("a", 0, 1.0), cell("a", 1, 3.0), cell("b", 0, 2.0)]
+    aggregates = aggregate_cells(cells)
+    assert set(aggregates) == {"a", "b"}
+    assert aggregates["a"]["seeds"] == [0, 1]
+    assert aggregates["a"]["wall_clock_s"] == {
+        "mean": 2.0, "p95": 3.0, "min": 1.0, "max": 3.0,
+    }
+    assert aggregates["a"]["query_mean_elapsed_s"]["mean"] == pytest.approx(0.15)
+    assert aggregates["b"]["seeds"] == [0]
+    assert aggregates["b"]["wall_clock_s"]["p95"] == 2.0
+
+
+def test_run_named_multi_seed_envelope(tmp_path):
+    payload = run_named("smoke", seeds=[0, 1], processes=1, out_dir=str(tmp_path))
+    assert payload["seeds"] == [0, 1]
+    aggregate = payload["aggregates"]["smoke"]
+    assert aggregate["seeds"] == [0, 1]
+    for measurement in ("wall_clock_s", "events_processed", "rpc_calls"):
+        stats = aggregate[measurement]
+        assert set(stats) == {"mean", "p95", "min", "max"}
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        assert stats["min"] <= stats["p95"] <= stats["max"]
+    document = json.loads((tmp_path / "BENCH_smoke.json").read_text())
+    assert document["aggregates"]["smoke"]["seeds"] == [0, 1]
+
+
+def test_run_named_figure_honours_seeds_and_offsets(monkeypatch):
+    from repro.harness import figures
+
+    calls = []
+
+    def fake_figure(seed=7):
+        calls.append(seed)
+        return FigureResult(
+            figure="Fake",
+            description="stub for seed-offset testing",
+            headers=["x", "y"],
+            rows=[(1, float(seed))],
+        )
+
+    monkeypatch.setitem(figures.ALL_FIGURES, "fake_figure", fake_figure)
+    payload = run_named("fake_figure", seeds=[0, 2], processes=1, out_dir=None)
+    # Offsets are applied on top of the figure's default seed.
+    assert calls == [7, 9]
+    assert payload["seeds"] == [7, 9]
+    assert [cell["seed_offset"] for cell in payload["results"]] == [0, 2]
+    # Matching rows are averaged across the seed runs.
+    assert payload["aggregates"]["rows"] == [[1, 8.0]]
+    assert payload["summary"]["figure_runs"] == 2
+
+
+def test_run_named_figure_single_seed_keeps_historical_shape(monkeypatch):
+    from repro.harness import figures
+
+    calls = []
+
+    def fake_figure(seed=19):
+        calls.append(seed)
+        return FigureResult(figure="Fake", description="", headers=["x"], rows=[(1,)])
+
+    monkeypatch.setitem(figures.ALL_FIGURES, "fake_figure", fake_figure)
+    payload = run_named("fake_figure", out_dir=None)
+    assert calls == [19]  # seeds=[0] resolves to the figure's own default seed
+    assert len(payload["results"]) == 1
+    assert "aggregates" not in payload
+
+
+# --------------------------------------------------------------------------- CLI seed parsing
+def test_parse_seeds_accepts_lists_commas_and_ranges():
+    assert _parse_seeds(["0"]) == [0]
+    assert _parse_seeds(["0", "1", "2"]) == [0, 1, 2]
+    assert _parse_seeds(["0,1,2"]) == [0, 1, 2]
+    assert _parse_seeds(["0..4"]) == [0, 1, 2, 3, 4]
+    assert _parse_seeds(["0..1", "5,7"]) == [0, 1, 5, 7]
+
+
+def test_parse_seeds_rejects_garbage():
+    with pytest.raises(SystemExit):
+        _parse_seeds(["zebra"])
+    with pytest.raises(SystemExit):
+        _parse_seeds(["4..1"])
+    with pytest.raises(SystemExit):
+        _parse_seeds([","])

@@ -65,10 +65,40 @@ def test_failure_schedule_zero_rate_empty():
     assert len(failure_schedule(0.0, 100.0, random.Random(0))) == 0
 
 
+def test_failure_schedule_short_duration_rounds_to_zero_events():
+    # rate * duration / 100 < 0.5 rounds down to an empty schedule instead of
+    # injecting a spurious failure into a short window.
+    schedule = failure_schedule(2.0, 20.0, random.Random(7))
+    assert len(schedule) == 0
+    assert schedule.duration == 0.0
+    assert list(schedule) == []
+
+
 def test_schedules_merge():
     merged = join_schedule(2).merged_with(failure_schedule(5.0, 100.0, random.Random(1)))
     kinds = {event.kind for event in merged}
     assert kinds == {JOIN, FAIL}
+
+
+def test_schedule_events_sorted_once_at_construction():
+    schedule = ChurnSchedule(
+        [ChurnEvent(5.0, JOIN), ChurnEvent(1.0, FAIL), ChurnEvent(3.0, JOIN)]
+    )
+    assert [event.time for event in schedule.events] == [1.0, 3.0, 5.0]
+    # __iter__ yields the stored (already sorted) list, no per-iteration sort.
+    assert list(schedule) == schedule.events
+
+
+def test_merged_with_keeps_time_order_and_tie_stability():
+    joins = ChurnSchedule([ChurnEvent(1.0, JOIN), ChurnEvent(4.0, JOIN)])
+    fails = ChurnSchedule([ChurnEvent(0.5, FAIL), ChurnEvent(4.0, FAIL), ChurnEvent(9.0, FAIL)])
+    merged = joins.merged_with(fails)
+    times = [event.time for event in merged]
+    assert times == sorted(times) == [0.5, 1.0, 4.0, 4.0, 9.0]
+    # Stable at equal times: the receiver's event precedes the argument's.
+    tied = [event.kind for event in merged if event.time == 4.0]
+    assert tied == [JOIN, FAIL]
+    assert merged.duration == 9.0
 
 
 def test_query_workload_selectivity():
