@@ -3,9 +3,15 @@
 The paper's second motivating application class (Section 1) is digital
 libraries: articles are indexed by publication date, queries ask for date
 ranges, and the key distribution is heavily skewed (most insertions hit recent
-dates).  Hash-based placement would balance storage but destroy range locality;
-the order-preserving Data Store keeps ranges contiguous and relies on splits,
-merges and redistributions to stay balanced -- which this example makes visible.
+dates).  Hash-based placement would balance storage but destroy range
+locality; the order-preserving Data Store keeps ranges contiguous and relies
+on splits, merges and redistributions to stay balanced -- which this example
+makes visible.
+
+The workload is expressed as a registered :class:`ScenarioSpec` (the
+``skewed`` key generator with a hot recent region), exactly as described in
+``docs/SCENARIOS.md``; the spec is then materialised so the storage balance
+and maintenance operations can be inspected peer by peer.
 
 Run with::
 
@@ -14,26 +20,42 @@ Run with::
 
 from collections import Counter
 
-from repro import PRingIndex, default_config
-from repro.workloads.items import skewed_keys
+from repro.harness.scenarios import (
+    QueryMixSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    build_experiment,
+    register,
+)
+
+# Keys are "days since epoch" over ~27 years; 80% of insertions fall in the
+# most recent 10% of the timeline (hot region at the low end of the space).
+SPEC = register(
+    ScenarioSpec(
+        name="digital_library",
+        description="skewed publication dates: 80% of 220 articles hit 10% of the timeline",
+        peers=36,
+        join_period=1.0,
+        settle_time=40.0,
+        seed=11,
+        workload=WorkloadSpec(
+            items=220,
+            insert_rate=3.0,
+            distribution="skewed",
+            params={"hot_fraction": 0.8, "hot_region": 0.1},
+        ),
+        queries=QueryMixSpec(count=0),  # queries below are hand-picked ranges
+    )
+)
 
 
 def main() -> None:
-    config = default_config(seed=11)
-    index = PRingIndex(config)
-    index.bootstrap()
-    for _ in range(16):
-        index.add_peer()
-
-    # Keys are "days since epoch" over ~27 years; 80% of insertions fall in the
-    # most recent 10% of the timeline (hot region at the low end of the space).
-    rng = index.rngs.stream("library")
-    dates = skewed_keys(220, config.key_space, rng, hot_fraction=0.8, hot_region=0.1)
-    print(f"Ingesting {len(dates)} articles with a skewed date distribution...")
-    for number, date in enumerate(dates):
-        index.insert_item_now(date, payload=f"article-{number:04d}")
-        index.run(0.3)
-    index.run(40.0)
+    experiment = build_experiment(SPEC, seed=11)
+    index = experiment.index
+    config = index.config
+    print(f"Ingesting {SPEC.workload.items} articles with a skewed date distribution...")
+    experiment.build()
+    dates = experiment.inserted_keys
 
     members = index.ring_members()
     print(f"\nThe skew forced {len(members)} peers into the ring:")
@@ -58,16 +80,15 @@ def main() -> None:
         ("one cold decade", hot_edge * 3, hot_edge * 6),
         ("entire collection", 0.0, config.key_space),
     ):
-        result = index.range_query_now(lb, ub)
+        outcome = experiment.run_query(lb, ub)
         expected = len([d for d in dates if lb < d <= ub])
         print(
-            f"  {label:28s} ({lb:8.1f}, {ub:8.1f}] -> {len(result['keys']):3d} articles "
-            f"(expected {expected:3d}), {result['hops']} hops, complete={result['complete']}"
+            f"  {label:28s} ({lb:8.1f}, {ub:8.1f}] -> {len(outcome.keys):3d} articles "
+            f"(expected {expected:3d}), {outcome.hops} hops, complete={outcome.complete}"
         )
 
     # How the maintenance operations distributed the load.
-    history = index.history.history()
-    operations = Counter(op.kind for op in history)
+    operations = Counter(op.kind for op in index.history.history())
     print(
         f"\nData Store maintenance performed: {operations['split_finished']} splits, "
         f"{operations.get('redistribute', 0)} redistributions, "

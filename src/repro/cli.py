@@ -4,12 +4,13 @@ Examples::
 
     repro-run --list                 # everything runnable, with descriptions
     repro-run smoke                  # one scenario cell, writes BENCH_smoke.json
-    repro-run scale_sweep            # 100/300/1000-peer suite -> BENCH_scale.json
+    repro-run scale_sweep            # 100..5000-peer suite -> BENCH_scale.json
     repro-run figure_19              # a paper-figure reproduction
     repro-run engine_bench           # engine-vs-seed microbench -> BENCH_engine.json
     repro-run churn_heavy --seeds 0,1,2 --processes 3
     repro-run scale_sweep --seeds 0..4   # 5 seeds/cell; BENCH carries mean/p95
     repro-run scale_100_wan          # the scale cell under 4-site LAN/WAN latency
+    repro-run adaptive_ablation      # fixed vs adaptive maintenance at 1000 peers
 """
 
 from __future__ import annotations

@@ -8,6 +8,12 @@
 * :mod:`repro.core.histories` -- histories of operations (Definitions 1-2).
 * :mod:`repro.core.correctness` -- checkers for the paper's correctness and
   availability definitions (Definitions 3-7).
+
+Layer contract: peers with the protocol stack (sim + ring + datastore +
+index.config); the checkers additionally inspect live peers handed to them.
+Neighbors import :class:`PepperRing` (selected by ``IndexPeer`` per the
+protocol flags), the query engine, and the checker functions from here; the
+history recorder travels through constructor injection, never globals.
 """
 
 from repro.core.histories import History, HistoryRecorder, Operation

@@ -126,6 +126,29 @@ class PepperRing(ChordRing):
             yield self.sim.any_of([ack_event, wait])
             if ack_event.triggered:
                 break
+            # The set of peers that must learn about the insert is the set of
+            # current ring members pointing at us; peers that merged away or
+            # failed since the protocol started (their zombie entries are
+            # pruned by stabilization) shrink it -- possibly to nobody, in
+            # which case the new peer may transition immediately.  Without
+            # this re-check an insert whose only witnesses left the ring
+            # wedges the inserter in INSERTING for the full retry budget.
+            # Both views must agree that nobody else needs to learn: the
+            # successor list (no other JOINED member) *and* the predecessor
+            # pointer (cleared by the predecessor check once its peer is
+            # confirmed gone) -- an empty successor list alone can be a
+            # transient artifact of pruning on RPC timeouts while live
+            # predecessors still await the pointer.
+            remaining = [
+                e
+                for e in self.succ_list
+                if e.state == JOINED and e.address not in (self.address, new_address)
+            ]
+            alone = self.pred_address in (None, self.address, new_address)
+            if not remaining and alone:
+                if not ack_event.triggered:
+                    ack_event.succeed("witnesses-left")
+                break
             self._nudge_predecessor()
             self.stabilize_now()
             if attempts > 200:  # safety net: never wedge the simulation
@@ -181,6 +204,7 @@ class PepperRing(ChordRing):
         duration = self.sim.now - started
         self._record("insert_succ", duration)
         self._record_op("insert_succ", new_peer=new_address, duration=duration)
+        self._cache_record(new_address, new_value)
         self._fire_successor_changed(new_address)
 
     def _nudge_predecessor(self) -> None:

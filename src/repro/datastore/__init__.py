@@ -1,4 +1,14 @@
-"""P-Ring Data Store: order-preserving item placement with storage balancing."""
+"""P-Ring Data Store: order-preserving item placement with storage balancing.
+
+Layer contract: builds on :mod:`repro.sim` and :mod:`repro.ring` (ranges
+follow the ring's predecessor pointers via :class:`RingListener` events;
+splits address ring inserts through ``ChordRing.join_contact_for``).  May
+import :mod:`repro.index.config` for tunables.  The replication manager and
+the index peer compose these classes; neighbors should import
+:class:`DataStore`, :class:`StorageBalancer`, :class:`FreePeerPool` (from
+``maintenance``), :class:`Item`/:class:`ItemStore` and
+:class:`CircularRange` from here rather than reaching into submodules.
+"""
 
 from repro.datastore.items import Item, ItemStore
 from repro.datastore.ranges import CircularRange

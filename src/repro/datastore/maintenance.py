@@ -177,7 +177,10 @@ class StorageBalancer:
                 if split_key == self.ring.value:
                     return  # degenerate: the split would take the whole range
                 range_low = base
-                pred_address = self.ring.pred_address or self.address
+                # The new peer inserts right before us: address the join at
+                # the closest known predecessor of the split key (the pred
+                # pointer, or better if the redirect cache knows one).
+                pred_address = self.ring.join_contact_for(split_key)
             finally:
                 self.store.range_lock.release_write()
 
@@ -247,14 +250,63 @@ class StorageBalancer:
 
     def _activation_join(self, join_via: str, notify: str):
         """Join the ring (via the configured insertSucc) and notify the splitter."""
+        if join_via == self.node.address:
+            # A redirect-cache entry from this peer's *previous* ring
+            # membership can name it as its own best contact; join through
+            # the splitter instead.
+            join_via = notify
         try:
             yield from self.ring.join(join_via)
         except Exception:
-            # Could not join (e.g. the contact peer merged away mid-split):
-            # drop the transferred copies -- the splitter only sheds its own
-            # copies after our confirmation, so nothing is lost -- and return
-            # to the free-peer pool for a later attempt.
+            joined = False
+            if join_via != notify:
+                # The addressed contact was stale (merged away, or a redirect
+                # chain dead-ended).  The splitter itself is certainly still a
+                # ring member -- it is waiting for our confirmation -- so
+                # retry the join through it before giving the attempt up.
+                try:
+                    yield from self.ring.join(notify)
+                    joined = True
+                except Exception:
+                    joined = False
+            if not joined:
+                # Could not join: drop the transferred copies -- the splitter
+                # only sheds its own copies after our confirmation, so nothing
+                # is lost -- and return to the free-peer pool for a later
+                # attempt.
+                self.store.deactivate()
+                if self.pool_address is not None:
+                    try:
+                        yield self.node.call(
+                            self.pool_address, "pool_release", {"address": self.address}
+                        )
+                    except RpcError:
+                        pass
+                return
+        if self.replication is not None:
+            self.replication.refresh_now()
+        try:
+            response = yield self.node.call(
+                notify,
+                "ds_split_complete",
+                {"new_peer": self.address, "split_key": self.ring.value},
+            )
+        except RpcError:
+            # The splitter failed: keep the range -- our copies may now be
+            # the only live ones, and the ring has already adopted us.
+            return
+        if not response.get("ok"):
+            # The splitter timed out waiting and abandoned the split (it
+            # kept its full range and never sheds the transferred items), so
+            # a completed join here would leave both peers claiming
+            # (range_low, split_key].  Undo: leave the ring gracefully and
+            # return to the free-peer pool; the splitter's periodic check
+            # will retry the split from scratch.
             self.store.deactivate()
+            yield from self.ring.leave()
+            if self.replication is not None:
+                self.replication.clear()
+            self._record_op("split_rolled_back", splitter=notify)
             if self.pool_address is not None:
                 try:
                     yield self.node.call(
@@ -262,17 +314,6 @@ class StorageBalancer:
                     )
                 except RpcError:
                     pass
-            return
-        if self.replication is not None:
-            self.replication.refresh_now()
-        try:
-            yield self.node.call(
-                notify,
-                "ds_split_complete",
-                {"new_peer": self.address, "split_key": self.ring.value},
-            )
-        except RpcError:
-            pass
 
     def _handle_split_complete(self, payload, request):
         """RPC (at the splitter): the new peer is in the ring; shed the lower half."""

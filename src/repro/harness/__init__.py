@@ -2,6 +2,14 @@
 
 Lazily exposes the heavier experiment modules so that library users who only
 need :class:`~repro.harness.metrics.Metrics` do not pay for them.
+
+Layer contract: the top of the stack -- the only layer (besides the CLI)
+allowed to import everything below, including :class:`PRingIndex`.  Nothing
+under ``src/repro`` may import the harness except :mod:`repro.cli`;
+:mod:`~repro.harness.metrics` is the one exception, a leaf utility injected
+downward into every component.  Experiments enter through the scenario
+registry (:func:`get_scenario` / :func:`run_spec` -- see
+``docs/SCENARIOS.md``), not through bespoke drivers.
 """
 
 from typing import TYPE_CHECKING

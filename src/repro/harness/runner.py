@@ -136,6 +136,24 @@ def _stats(values: Sequence[float]) -> Dict[str, float]:
     }
 
 
+def _per_method_means(group: List[Dict[str, Any]]) -> Dict[str, float]:
+    """Mean RPC count per method across a scenario's seed runs.
+
+    The per-method profile is what the maintenance ablations compare (a
+    fixed-cadence cell vs. its ``_adaptive`` twin differ almost entirely in
+    ``ring_ping`` volume), so the envelope carries it next to the raw
+    per-cell profiles.
+    """
+    methods = sorted({method for cell in group for method in cell.get("rpc_per_method", {})})
+    return {
+        method: round(
+            sum(cell.get("rpc_per_method", {}).get(method, 0) for cell in group) / len(group),
+            1,
+        )
+        for method in methods
+    }
+
+
 def aggregate_cells(cells: List[Dict[str, Any]]) -> Dict[str, Any]:
     """Per-scenario mean/p95/min/max over seeds for the standard measurements."""
     by_scenario: Dict[str, List[Dict[str, Any]]] = {}
@@ -148,6 +166,7 @@ def aggregate_cells(cells: List[Dict[str, Any]]) -> Dict[str, Any]:
                 field: _stats([cell[field] for cell in group])
                 for field in _AGGREGATED_FIELDS
             },
+            "rpc_per_method_mean": _per_method_means(group),
         }
         for scenario, group in by_scenario.items()
     }

@@ -4,7 +4,11 @@ The paper's evaluation runs a single 30-peer LAN deployment; everything the
 harness measured was hard-wired to that shape.  A :class:`ScenarioSpec`
 instead *describes* a deployment -- size and arrival schedule, churn (steady
 failure rate, flash crowds, correlated rack outages), item workload (count,
-rate, key distribution), query mix, protocol selection and index/network
+rate, key distribution), query mix, protocol selection, network conditions
+(:class:`LatencySpec`, resolved through
+:func:`repro.sim.network.latency_model_from_params`), maintenance adaptivity
+(:class:`MaintenanceSpec`, resolved through
+:func:`repro.maintenance.policy.maintenance_policy_from_params`) and index
 configuration -- and the driver executes any spec through the same code path.
 
 Scenarios are registered by name in a process-global registry, so experiments
@@ -28,6 +32,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.harness.experiment import ClusterExperiment, ExperimentSettings
 from repro.index.config import IndexConfig, default_config
+from repro.maintenance.policy import MaintenancePolicy, maintenance_policy_from_params
 from repro.sim.network import (
     CROSS_SITE_LATENCY_METRIC,
     INTRA_SITE_LATENCY_METRIC,
@@ -105,6 +110,29 @@ class LatencySpec:
 
 
 @dataclass(frozen=True)
+class MaintenanceSpec:
+    """The maintenance-adaptivity policy of a scenario (mirrors :class:`LatencySpec`).
+
+    ``policy`` names a registered maintenance preset (``fixed`` /
+    ``adaptive``); ``None`` keeps whatever the resolved
+    :class:`~repro.index.config.IndexConfig` already carries (the historical
+    fixed timers by default).  ``params`` are flat keyword overrides for
+    individual :class:`~repro.maintenance.policy.MaintenancePolicy` fields --
+    e.g. ``{"redirect_cache_size": 0}`` runs adaptive cadences without the
+    join-redirect cache, which is how single mechanisms are ablated.
+    """
+
+    policy: Optional[str] = None
+    params: Mapping = field(default_factory=dict)
+
+    def build_policy(self) -> Optional[MaintenancePolicy]:
+        """Instantiate (and validate) the configured policy, or ``None``."""
+        if self.policy is None:
+            return None
+        return maintenance_policy_from_params(self.policy, **dict(self.params))
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete, named description of one experiment cell."""
 
@@ -119,6 +147,7 @@ class ScenarioSpec:
     churn: ChurnSpec = ChurnSpec()
     queries: QueryMixSpec = QueryMixSpec()
     latency: LatencySpec = LatencySpec()
+    maintenance: MaintenanceSpec = MaintenanceSpec()
     config: Mapping = field(default_factory=dict)  # IndexConfig field overrides
     base_config: Optional[IndexConfig] = None  # full config object (figures use this)
 
@@ -135,6 +164,9 @@ class ScenarioSpec:
             config = config.copy(
                 network=replace(config.network, latency_model=latency_model)
             )
+        maintenance_policy = self.maintenance.build_policy()
+        if maintenance_policy is not None:
+            config = config.copy(maintenance=maintenance_policy)
         if self.protocols == "pepper":
             config = config.with_pepper_protocols()
         elif self.protocols == "naive":
@@ -181,6 +213,9 @@ class ScenarioResult:
     rpc_calls: int
     rpc_timeouts: int
     messages_sent: int
+    # RPC count per method name -- the per-method profile the maintenance
+    # ablations compare (e.g. ``ring_ping`` fixed vs. adaptive cadence).
+    rpc_per_method: Dict[str, int] = field(default_factory=dict)
     queries_run: int = 0
     queries_complete: int = 0
     query_mean_elapsed_s: float = 0.0
@@ -203,6 +238,8 @@ _REPORTED_METRICS = (
     "merge",
     "leave",
     "route_hops",
+    "join_redirect",
+    "join_redirect_cached",
     INTRA_SITE_LATENCY_METRIC,
     CROSS_SITE_LATENCY_METRIC,
 )
@@ -288,6 +325,7 @@ def run_spec(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResult:
         rpc_calls=index.network.stats.rpc_calls,
         rpc_timeouts=index.network.stats.rpc_timeouts,
         messages_sent=index.network.stats.messages_sent,
+        rpc_per_method=dict(index.network.stats.per_method),
         queries_run=len(outcomes),
         queries_complete=sum(1 for outcome in outcomes if outcome.complete),
         query_mean_elapsed_s=(
@@ -468,12 +506,43 @@ register(_scale_spec("scale_100", 100, "100-peer deployment with churn"))
 register(_scale_spec("scale_300", 300, "300-peer deployment with churn"))
 register(_scale_spec("scale_1000", 1000, "1000-peer deployment with churn"))
 register(_scale_spec("scale_3000", 3000, "3000-peer deployment with churn"))
+register(_scale_spec("scale_5000", 5000, "5000-peer deployment with churn"))
 register_suite(
     ScenarioSuite(
         name="scale_sweep",
-        scenarios=("scale_100", "scale_300", "scale_1000", "scale_3000"),
-        description="wall-clock and event-throughput across 100/300/1000/3000 peers",
+        scenarios=("scale_100", "scale_300", "scale_1000", "scale_3000", "scale_5000"),
+        description="wall-clock and event-throughput across 100..5000 peers",
         bench_name="scale",
+    )
+)
+
+# ---- adaptive maintenance --------------------------------------------------
+# The same scale cells with the adaptive maintenance policy: server-side
+# join-redirect caching, ring_ping validation cadence that backs off while
+# validations succeed, and RTT-seeded stabilization/replication periods.  The
+# fixed cell and its ``_adaptive`` twin differ in exactly one spec field, so
+# ``repro-run adaptive_ablation`` is the fixed-vs-adaptive ablation and the
+# per-method RPC profiles in the BENCH envelope carry the ``ring_ping`` delta.
+ADAPTIVE_MAINTENANCE = MaintenanceSpec(policy="adaptive")
+
+
+def _adaptive_variant(base_name: str) -> ScenarioSpec:
+    base = get_scenario(base_name)
+    return base.with_(
+        name=f"{base_name}_adaptive",
+        description=f"{base.description}, adaptive maintenance policy",
+        maintenance=ADAPTIVE_MAINTENANCE,
+    )
+
+
+register(_adaptive_variant("scale_100"))
+register(_adaptive_variant("scale_1000"))
+register_suite(
+    ScenarioSuite(
+        name="adaptive_ablation",
+        scenarios=("scale_1000", "scale_1000_adaptive"),
+        description="fixed vs. adaptive maintenance at 1000 peers (ring_ping profile delta)",
+        bench_name="adaptive",
     )
 )
 
@@ -504,5 +573,25 @@ register_suite(
         scenarios=("scale_100_wan", "scale_300_wan", "scale_1000_wan"),
         description="the scaling sweep under 4-site LAN/WAN cross-site latency",
         bench_name="scale_wan",
+    )
+)
+
+# The 1000-peer WAN cell under the adaptive policy: stabilization and
+# replication run on round-trip-scaled periods instead of the LAN constants
+# (plus adaptive validation and redirect caching), which is the remedy for WAN
+# cells finishing with fewer members/items in the same simulated window.
+register(
+    get_scenario("scale_1000_wan").with_(
+        name="scale_1000_wan_adaptive",
+        description="1000-peer WAN deployment, adaptive maintenance policy",
+        maintenance=ADAPTIVE_MAINTENANCE,
+    )
+)
+register_suite(
+    ScenarioSuite(
+        name="adaptive_ablation_wan",
+        scenarios=("scale_1000_wan", "scale_1000_wan_adaptive"),
+        description="fixed vs. adaptive maintenance under 4-site WAN latency",
+        bench_name="adaptive_wan",
     )
 )

@@ -3,6 +3,17 @@
 Attribute access is lazy so that low-level packages (ring, data store,
 replication) can import :mod:`repro.index.config` without dragging in the
 peer/cluster modules that depend on them.
+
+Layer contract: :mod:`repro.index.config` is the *shared tunables* module --
+it imports only :mod:`repro.sim` and :mod:`repro.maintenance` and may be
+imported by every protocol layer.  The rest of the package composes the full
+stack: :class:`IndexPeer` wires ring + datastore + replication + router +
+queries into one node, :class:`~repro.index.membership.MembershipIndex`
+maintains the incremental live/free/ring-member sets (fed exclusively by the
+ring's ``_set_state``/``_set_value`` hooks and the peer failure hooks -- see
+``docs/ARCHITECTURE.md``), and :class:`PRingIndex` is the cluster facade the
+harness, examples and tests drive.  Nothing below the harness may import
+``peer``/``pring``.
 """
 
 from typing import TYPE_CHECKING

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.maintenance.policy import FIXED_MAINTENANCE, MaintenancePolicy
 from repro.sim.network import NetworkConfig
 
 
@@ -52,6 +53,12 @@ class IndexConfig:
     extra_hop_replication: bool = True  # replicate-to-additional-hop vs. nothing
     proactive_nudge: bool = True  # Section 4.3.1 optimization: poke predecessors
 
+    # --- Maintenance adaptivity ---------------------------------------------------
+    # ``None`` keeps the historical fixed-timer behaviour; scenario specs
+    # resolve a MaintenanceSpec into a validated policy here (exactly as a
+    # LatencySpec resolves into ``network.latency_model``).
+    maintenance: Optional[MaintenancePolicy] = None
+
     # --- Simulation substrate ---------------------------------------------------
     network: NetworkConfig = field(default_factory=NetworkConfig)
     seed: int = 0
@@ -66,6 +73,11 @@ class IndexConfig:
     def underflow_threshold(self) -> int:
         """A Data Store underflows when it holds fewer than ``sf`` items."""
         return self.storage_factor
+
+    @property
+    def maintenance_policy(self) -> MaintenancePolicy:
+        """The effective maintenance policy (the fixed one unless configured)."""
+        return self.maintenance if self.maintenance is not None else FIXED_MAINTENANCE
 
     @property
     def join_ack_timeout(self) -> float:
@@ -91,6 +103,8 @@ class IndexConfig:
             raise ValueError("key_space must be positive")
         if self.router not in ("hierarchical", "linear"):
             raise ValueError(f"unknown router {self.router!r}")
+        if self.maintenance is not None:
+            self.maintenance.validate()
         self.network.validate()
 
     def with_naive_protocols(self) -> "IndexConfig":

@@ -1,0 +1,52 @@
+"""Adaptive ring-maintenance subsystem: cadence controllers and redirect caching.
+
+Layer contract
+--------------
+This package sits *below* the protocol layers: it depends only on the standard
+library, so :mod:`repro.index.config` can carry a resolved
+:class:`MaintenancePolicy` and :mod:`repro.ring` / :mod:`repro.replication`
+can drive their periodic loops through the controllers without import cycles.
+Neighbors may import everything exported here; nothing in this package may
+import from any other ``repro`` package.
+
+What lives here:
+
+* :mod:`~repro.maintenance.cadence` -- :class:`FixedCadence`,
+  :class:`AdaptiveCadence` (back-off/tighten validation cadence) and
+  :class:`RttScaledCadence` (round-trip-seeded stabilization/replication
+  periods).
+* :mod:`~repro.maintenance.redirect_cache` -- the server-side join-redirect
+  cache (:class:`RedirectCache`).
+* :mod:`~repro.maintenance.policy` -- :class:`MaintenancePolicy`, the named
+  presets, and :func:`maintenance_policy_from_params` (the scenario-facing
+  factory, mirroring the latency-model factory).
+"""
+
+from repro.maintenance.cadence import (
+    AdaptiveCadence,
+    CadenceController,
+    FixedCadence,
+    RttScaledCadence,
+    rtt_scaled_period,
+)
+from repro.maintenance.policy import (
+    FIXED_MAINTENANCE,
+    MAINTENANCE_POLICIES,
+    MaintenancePolicy,
+    maintenance_policy_from_params,
+)
+from repro.maintenance.redirect_cache import RedirectCache, backward_distance
+
+__all__ = [
+    "AdaptiveCadence",
+    "CadenceController",
+    "FIXED_MAINTENANCE",
+    "FixedCadence",
+    "MAINTENANCE_POLICIES",
+    "MaintenancePolicy",
+    "RedirectCache",
+    "RttScaledCadence",
+    "backward_distance",
+    "maintenance_policy_from_params",
+    "rtt_scaled_period",
+]

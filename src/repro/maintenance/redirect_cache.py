@@ -1,0 +1,99 @@
+"""Server-side join-redirect cache: answer stale-pointer joins from memory.
+
+A Data Store split addresses the ring insert through the splitter's
+(possibly stale) predecessor pointer.  When the contacted peer is not the
+right insertion point it *redirects* the joiner one pointer at a time --
+towards its own predecessor or first successor -- so a chain of stale
+pointers is walked hop by hop at network speed (the PR 3 flash-crowd
+``ring_insert_successor`` storm capped that walk on the *joiner* side).
+
+This cache closes the server side: every peer remembers the ring members it
+recently heard about first-hand (stabilization partners, adopted successor
+entries, peers it inserted itself) and, when it must reject a join, redirects
+straight to the cached member closest *before* the joining value instead of
+taking a single step.  Entries carry a timestamp and are only trusted for
+``ttl`` simulated seconds -- stale entries must age out quickly because a
+cached peer may since have merged away or moved its ring value.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+
+def backward_distance(target: float, value: float, key_space: float) -> float:
+    """Counter-clockwise distance from ``target`` back to ``value`` on the ring.
+
+    The best redirect target for a joining value is the member that minimises
+    this distance: the closest predecessor in ring order.  A zero distance
+    (``value == target``) is reported as a full circle so a peer can never be
+    chosen as its own predecessor.
+    """
+    distance = (target - value) % key_space
+    return distance if distance > 0 else key_space
+
+
+class RedirectCache:
+    """A bounded, TTL'd map of recently observed ring members.
+
+    ``record`` is O(1) and called from the stabilization hot path; ``lookup``
+    is O(size) and only runs on the (rare) join-reject path.  ``size`` bounds
+    memory per peer; insertion order doubles as the eviction order (oldest
+    observation evicted first -- re-recording an address refreshes it).
+    """
+
+    def __init__(self, size: int, ttl: float):
+        if size < 1:
+            raise ValueError("redirect cache size must be >= 1")
+        if ttl <= 0:
+            raise ValueError("redirect cache ttl must be positive")
+        self.size = size
+        self.ttl = ttl
+        self._entries: "OrderedDict[str, Tuple[float, float]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(self, address: str, value: float, now: float) -> None:
+        """Remember that ``address`` was a ring member at ``value`` at time ``now``."""
+        entries = self._entries
+        if address in entries:
+            del entries[address]
+        entries[address] = (value, now)
+        while len(entries) > self.size:
+            entries.popitem(last=False)
+
+    def forget(self, address: str) -> None:
+        """Drop an entry observed to be wrong (failed or merged-away peer)."""
+        self._entries.pop(address, None)
+
+    def lookup(
+        self,
+        target_value: float,
+        key_space: float,
+        now: float,
+        exclude: Tuple[str, ...] = (),
+    ) -> Optional[Tuple[str, float]]:
+        """The freshest-known member closest before ``target_value`` in ring order.
+
+        Returns ``(address, value)`` or ``None``.  Entries older than ``ttl``
+        are pruned as they are passed over; ``exclude`` removes peers that are
+        not useful redirect targets (the rejecting peer itself, the joiner).
+        """
+        best: Optional[Tuple[str, float]] = None
+        best_distance = key_space + 1.0
+        stale = []
+        for address, (value, stamp) in self._entries.items():
+            if now - stamp > self.ttl:
+                stale.append(address)
+                continue
+            if address in exclude:
+                continue
+            distance = backward_distance(target_value, value, key_space)
+            if distance < best_distance:
+                best_distance = distance
+                best = (address, value)
+        for address in stale:
+            del self._entries[address]
+        return best

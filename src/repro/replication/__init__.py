@@ -1,4 +1,14 @@
-"""Replication Manager: CFS-style successor replication plus the extra-hop protocol."""
+"""Replication Manager: CFS-style successor replication plus the extra-hop protocol.
+
+Layer contract: builds on :mod:`repro.sim`, :mod:`repro.ring` (listens for
+predecessor failures/changes to revive replicas) and :mod:`repro.datastore`
+(reads the local store, promotes replicas into it).  The refresh loop's
+cadence comes from the resolved maintenance policy on
+:mod:`repro.index.config` (fixed period, or RTT-scaled under the adaptive
+policy).  Only :class:`~repro.index.peer.IndexPeer` composes a
+:class:`ReplicationManager`; other layers interact with replication solely
+through the ring events and the store.
+"""
 
 from repro.replication.cfs import ReplicationManager
 from repro.replication.extra_hop import push_items_one_extra_hop

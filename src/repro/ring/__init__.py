@@ -1,4 +1,16 @@
-"""Fault Tolerant Ring substrate (Chord-style) with naive baseline protocols."""
+"""Fault Tolerant Ring substrate (Chord-style) with naive baseline protocols.
+
+Layer contract: sits directly on :mod:`repro.sim`, and may additionally
+import :mod:`repro.maintenance` (cadence controllers, redirect cache) and
+:mod:`repro.index.config` (the shared tunables; config deliberately imports
+nothing from this package).  Higher layers (datastore, replication, router,
+index) attach to a ring through :class:`RingListener` callbacks and the
+public query/bootstrap methods of :class:`ChordRing` -- they must never
+mutate ``ring.state`` / ``ring.value`` directly (the membership index is
+notified through ``_set_state`` / ``_set_value``; see
+``docs/ARCHITECTURE.md``).  The PEPPER protocol variants subclass
+:class:`ChordRing` from :mod:`repro.core.pepper_ring`.
+"""
 
 from repro.ring.entries import (
     FREE,

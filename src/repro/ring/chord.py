@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.index.config import IndexConfig
+from repro.maintenance.redirect_cache import backward_distance
 from repro.ring.entries import (
     FREE,
     INSERTING,
@@ -118,6 +119,27 @@ class ChordRing:
         self._stabilizing = False
         self._stabilize_pending = False
 
+        # Maintenance adaptivity (``config.maintenance``; the default policy
+        # reproduces the historical fixed timers).  The successor-validation
+        # controller paces that ``ring_ping`` loop -- backing off while
+        # validations succeed, tightening after a failure or membership
+        # change -- and the redirect cache answers stale-pointer joins from
+        # recently observed members instead of walking the ring one pointer
+        # at a time.  The predecessor check deliberately keeps its fixed
+        # cadence (its detection latency feeds replica revival); its traffic
+        # is cut by the *passive* suppression below instead: a predecessor
+        # that recently stabilized with us has proven itself alive, so the
+        # next ping within the window is redundant and skipped.
+        policy = config.maintenance_policy
+        self._succ_cadence = policy.validation_controller(config.stabilization_period)
+        self._redirect_cache = policy.build_redirect_cache()
+        self._passive_window = (
+            1.5 * config.predecessor_check_period if policy.validation == "adaptive" else None
+        )
+        # Last time each peer stabilized with us, newest last (adaptive
+        # policy only; bounded -- see _note_heard_from).
+        self._heard_from: dict = {}
+
         node.register_handler("ring_stabilize", self._handle_stabilize)
         node.register_handler("ring_ping", self._handle_ping)
         node.register_handler("ring_insert_successor", self._handle_insert_successor)
@@ -167,6 +189,119 @@ class ChordRing:
     def _record_op(self, kind: str, **attrs) -> None:
         if self.history is not None:
             self.history.record(kind, peer=self.address, **attrs)
+
+    # How many distinct recent stabilizers to remember for passive liveness;
+    # in a healthy ring only the current predecessor stabilizes with us, so a
+    # handful of slots covers churn transients without unbounded growth.
+    _HEARD_FROM_LIMIT = 8
+
+    def _note_heard_from(self, address: str) -> None:
+        """Record that ``address`` just stabilized with us (adaptive policy only)."""
+        if self._passive_window is None:
+            return
+        heard = self._heard_from
+        heard.pop(address, None)
+        heard[address] = self.sim.now
+        while len(heard) > self._HEARD_FROM_LIMIT:
+            heard.pop(next(iter(heard)))
+
+    # ------------------------------------------------------------------ redirect cache
+    def _cache_record(self, address: Optional[str], value: Optional[float]) -> None:
+        """Remember a first-hand observation of a ring member (for join redirects)."""
+        cache = self._redirect_cache
+        if cache is not None and address is not None and address != self.address:
+            cache.record(address, value, self.sim.now)
+
+    def _cache_forget(self, address: str) -> None:
+        """Drop a cached member observed to be failed or merged away."""
+        if self._redirect_cache is not None:
+            self._redirect_cache.forget(address)
+
+    def _best_known_predecessor(
+        self, target_value: float, exclude: tuple
+    ) -> Optional[tuple]:
+        """The known member closest *before* ``target_value`` in ring order.
+
+        Candidates are the JOINED entries of our successor list (first-hand,
+        never stale by more than a stabilization round) plus the redirect
+        cache (older observations from further around the ring).  Returns
+        ``(address, value)`` or ``None``.  Only meaningful when the policy
+        enables the redirect cache.
+        """
+        if self._redirect_cache is None:
+            return None
+        span = self.config.key_space
+        best = self._redirect_cache.lookup(
+            target_value, span, self.sim.now, exclude=exclude
+        )
+        best_distance = (
+            backward_distance(target_value, best[1], span) if best is not None else span + 1.0
+        )
+        for entry in self.succ_list:
+            if entry.state != JOINED or entry.address in exclude:
+                continue
+            distance = backward_distance(target_value, entry.value, span)
+            if distance < best_distance:
+                best_distance = distance
+                best = (entry.address, entry.value)
+        return best
+
+    def _cached_redirect(
+        self,
+        new_address: str,
+        new_value: float,
+        default_address: str,
+        default_value: float,
+        bad_redirects: tuple = (),
+    ) -> str:
+        """The best redirect target for a rejected join.
+
+        The default target (our predecessor or first successor) takes one step
+        along the ring; if the successor list or the cache knows a member
+        strictly closer *before* the joining value, redirect straight there --
+        the walk strides over whole successor lists instead of single
+        pointers, which is what keeps flash-crowd joins inside the attempt cap
+        and turns repeat joins through the same stale pointer into O(1).
+        """
+        if self._redirect_cache is None:
+            return default_address
+        best = self._best_known_predecessor(
+            new_value, exclude=(self.address, new_address, default_address, *bad_redirects)
+        )
+        if best is None:
+            return default_address
+        span = self.config.key_space
+        if backward_distance(new_value, best[1], span) < backward_distance(
+            new_value, default_value, span
+        ):
+            self._record("join_redirect_cached", 1.0)
+            return best[0]
+        return default_address
+
+    def join_contact_for(self, value: float) -> str:
+        """Best known contact through which a peer at ``value`` should join.
+
+        Data Store splits address the ring insert through this: the
+        predecessor pointer by default, upgraded to the closest known
+        predecessor of ``value`` when the maintenance policy's redirect cache
+        is enabled (the bootstrap peer's self-pointer otherwise sends early
+        flash-crowd joiners on a walk around the entire ring).
+        """
+        default = self.pred_address or self.address
+        best = self._best_known_predecessor(value, exclude=(self.address,))
+        if best is None:
+            return default
+        span = self.config.key_space
+        default_value = (
+            self.pred_value
+            if self.pred_address not in (None, self.address) and self.pred_value is not None
+            else self.value
+        )
+        if backward_distance(value, best[1], span) < backward_distance(
+            value, default_value, span
+        ):
+            return best[0]
+        return default
 
     # ------------------------------------------------------------------ queries
     def successor_entries(self) -> List[SuccessorEntry]:
@@ -238,6 +373,7 @@ class ChordRing:
         self._record_op("ring_init_join", predecessor=predecessor_address)
         attempts = 0
         previous_contact: Optional[str] = None  # redirect memory (breaks 2-cycles)
+        dead_redirects: List[str] = []  # redirect targets observed FREE (reported back)
         while not self._joined_event.triggered:
             attempts += 1
             if attempts > 20:
@@ -251,7 +387,11 @@ class ChordRing:
                 response = yield self.node.call(
                     predecessor_address,
                     "ring_insert_successor",
-                    {"address": self.address, "value": self.value},
+                    {
+                        "address": self.address,
+                        "value": self.value,
+                        "bad_redirects": dead_redirects,
+                    },
                 )
             except RpcError:
                 response = None
@@ -270,8 +410,20 @@ class ChordRing:
                     predecessor_address = redirect
                     continue
                 if response.get("state") == FREE:
-                    # The contact peer is no longer a ring member; there is no
-                    # point retrying through it.
+                    if previous_contact is not None:
+                        # A redirect (possibly served from a peer's stale
+                        # redirect cache) pointed at a member that has since
+                        # merged away.  Remember the dead target -- the next
+                        # contact purges it from its cache and picks another
+                        # route -- and fall back to the redirecting peer after
+                        # a breather instead of giving up.
+                        if predecessor_address not in dead_redirects:
+                            dead_redirects.append(predecessor_address)
+                        predecessor_address, previous_contact = previous_contact, None
+                        yield self.sim.timeout(self.config.stabilization_period / 4)
+                        continue
+                    # The original contact peer is no longer a ring member;
+                    # there is no point retrying through it.
                     self._set_state(FREE)
                     raise RuntimeError(
                         f"{self.address}: join contact {predecessor_address} left the ring"
@@ -306,6 +458,12 @@ class ChordRing:
             return {"accepted": False, "state": self.state}
         new_address = payload["address"]
         new_value = payload["value"]
+        # The joiner reports redirect targets it found FREE: purge them so a
+        # stale cache entry cannot send the next (or the same) joiner back to
+        # a merged-away peer.
+        bad_redirects = tuple(payload.get("bad_redirects") or ())
+        for address in bad_redirects:
+            self._cache_forget(address)
         successor = self._first_joined_entry()
         if (
             successor is not None
@@ -315,9 +473,13 @@ class ChordRing:
             if self.pred_address not in (None, self.address) and in_open_interval(
                 new_value, self.pred_value, self.value
             ):
-                redirect = self.pred_address
+                redirect, redirect_value = self.pred_address, self.pred_value
             else:
-                redirect = successor.address
+                redirect, redirect_value = successor.address, successor.value
+            self._record("join_redirect", 1.0)
+            redirect = self._cached_redirect(
+                new_address, new_value, redirect, redirect_value, bad_redirects
+            )
             return {"accepted": False, "state": self.state, "redirect": redirect}
         self._record_op("init_insert_succ", new_peer=new_address, value=new_value)
         self.node.spawn(
@@ -363,6 +525,7 @@ class ChordRing:
         duration = self.sim.now - started
         self._record("insert_succ", duration)
         self._record_op("insert_succ", new_peer=new_address, duration=duration)
+        self._cache_record(new_address, new_value)
         self._fire_successor_changed(new_address)
 
     def _handle_join(self, payload, request):
@@ -412,8 +575,14 @@ class ChordRing:
             return
         self._maintenance_started = True
         jitter = self.config.stabilization_jitter
+        policy = self.config.maintenance_policy
+        # Stabilization runs on the policy's maintenance cadence (a plain
+        # period, or RTT-scaled under ``cadence="rtt_scaled"``); the two
+        # ``ring_ping`` validation loops are paced by their controllers.
         self.node.every(
-            self.config.stabilization_period,
+            policy.maintenance_interval(
+                self.config.stabilization_period, self.node.network.observed_rtt
+            ),
             self._stabilize_once,
             jitter=jitter,
             name="ring-stabilize",
@@ -425,7 +594,7 @@ class ChordRing:
             name="ring-pred-check",
         )
         self.node.every(
-            self.config.stabilization_period,
+            self._succ_cadence.interval,
             self._validate_successors_once,
             jitter=jitter,
             initial_delay=self.config.stabilization_period * 1.5,
@@ -494,6 +663,8 @@ class ChordRing:
                     ]
                 finally:
                     self.succ_lock.release_write()
+                self._cache_forget(target.address)
+                self._succ_cadence.note_failure()
                 self._record_op("successor_failure_detected", failed=target.address)
                 continue
             except Interrupt:
@@ -508,6 +679,9 @@ class ChordRing:
             # state; the caller treats the error as a failed successor and
             # drops the stale pointer.
             raise RuntimeError(f"{self.address} is not a ring member ({self.state})")
+        self._note_heard_from(payload["pred_address"])
+        if payload.get("pred_state") == JOINED:
+            self._cache_record(payload["pred_address"], payload["pred_value"])
         self._consider_predecessor(payload["pred_address"], payload["pred_value"])
         reported_state = LEAVING if self.state == LEAVING else JOINED
         return {
@@ -534,6 +708,10 @@ class ChordRing:
             old_address, old_value = self.pred_address, self.pred_value
             self.pred_address = address
             self.pred_value = value
+            if old_address is not None and old_address != address:
+                # The displaced predecessor's liveness record is no longer
+                # load-bearing (only the current pred's ping can be skipped).
+                self._heard_from.pop(old_address, None)
             self._record_op("predecessor_changed", pred=address, pred_value=value)
             self._fire_predecessor_changed(old_address, old_value, address, value)
 
@@ -544,6 +722,12 @@ class ChordRing:
         if self.pred_address in (None, self.address):
             return
         pred_address, pred_value = self.pred_address, self.pred_value
+        if self._passive_window is not None:
+            heard = self._heard_from.get(pred_address)
+            if heard is not None and self.sim.now - heard <= self._passive_window:
+                # The predecessor stabilized with us within the window: it is
+                # alive, no ping needed.
+                return
         gone = False
         try:
             response = yield self.node.call(
@@ -558,6 +742,8 @@ class ChordRing:
         except RpcError:
             gone = True
         if gone:
+            self._cache_forget(pred_address)
+            self._heard_from.pop(pred_address, None)
             if self.pred_address != pred_address:
                 return
             self.pred_address = None
@@ -603,7 +789,13 @@ class ChordRing:
             if response.get("state") in (FREE, JOINING):
                 stale.append(entry.address)
         if not stale:
+            # An all-clear round (or nothing to check): the controller may
+            # back off the next validation.
+            self._succ_cadence.note_success()
             return
+        self._succ_cadence.note_failure()
+        for address in stale:
+            self._cache_forget(address)
         yield self.succ_lock.acquire_write()
         try:
             self.succ_list = [e for e in self.succ_list if e.address not in stale]
@@ -631,6 +823,16 @@ class ChordRing:
             new_first = self._first_joined_address()
         finally:
             self.succ_lock.release_write()
+        if self._redirect_cache is not None:
+            # Members learned during stabilization are exactly the pointers a
+            # stale-chain join needs: remember them for redirect answers --
+            # and forget peers announced as LEAVING, so the cache never steers
+            # a join at a peer about to merge away.
+            for entry in (head, *received):
+                if entry.state == JOINED:
+                    self._cache_record(entry.address, entry.value)
+                elif entry.state == LEAVING:
+                    self._cache_forget(entry.address)
         if new_first is not None and new_first != old_first:
             self._fire_successor_changed(new_first)
 
@@ -703,5 +905,8 @@ class ChordRing:
             listener.on_predecessor_changed(self, old_addr, old_val, new_addr, new_val)
 
     def _fire_successor_changed(self, new_address: str) -> None:
+        # Membership moved right next to us: validate at the base cadence
+        # again until the neighbourhood proves stable.
+        self._succ_cadence.note_change()
         for listener in self.listeners:
             listener.on_successor_changed(self, new_address)

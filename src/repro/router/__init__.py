@@ -11,6 +11,11 @@ implementations:
 * :class:`~repro.router.hierarchical.HierarchicalRingRouter` -- each peer keeps
   a table of exponentially spaced pointers built by pointer doubling and routes
   in O(log N) hops.
+
+Layer contract: builds on :mod:`repro.sim`, :mod:`repro.ring` and
+:mod:`repro.datastore` (range ownership checks).  Neighbors select an
+implementation through :func:`make_router` (driven by ``config.router``)
+rather than instantiating router classes directly.
 """
 
 from repro.router.linear import LinearRouter

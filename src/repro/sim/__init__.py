@@ -6,6 +6,15 @@ discrete-event simulator in which every peer runs as a cooperative process,
 messages experience configurable latency, and read/write locks are simulated
 objects with FIFO wait queues.
 
+Layer contract: the bottom of the stack (stdlib-only, like
+:mod:`repro.maintenance`); nothing here may import ring/datastore/index/
+harness code.  Every higher layer may import the public surface below.
+Periodic loops accept either a float period or a zero-argument callable
+(:meth:`Node.every`), which is how the maintenance cadence controllers plug
+in without an import in this direction.  Determinism is part of the contract
+-- all randomness comes through :class:`~repro.sim.randomness.RngStreams`,
+never the global ``random`` module.
+
 The public surface is:
 
 * :class:`~repro.sim.engine.Simulator` -- the event loop.

@@ -13,6 +13,16 @@ Peers in the paper communicate over a LAN with "known bounded delay"
 The only communication primitive higher layers use is :meth:`Network.call`:
 request/response RPC addressed by peer address and handler name.
 
+Scenario specs select the model declaratively: a
+:class:`~repro.harness.scenarios.LatencySpec` (model name + flat JSON-able
+parameters) resolves through :func:`latency_model_from_params` into
+``NetworkConfig.latency_model``, so e.g. the 4-site ``lan_wan`` WAN cells are
+registry entries rather than bespoke network wiring.  The network also feeds
+the adaptive maintenance subsystem: :meth:`Network.observed_rtt` reports the
+mean measured round trip (seeded from the model's nominal latency until real
+samples exist), which the RTT-scaled cadence controllers in
+:mod:`repro.maintenance.cadence` consult before every maintenance round.
+
 Scalability notes
 -----------------
 * The RPC expiry timer is *cancelled* (lazily, via the engine's tombstoning
@@ -66,6 +76,14 @@ class LatencyModel:
     def sample(self, rng, source: str, destination: str) -> float:
         raise NotImplementedError
 
+    def nominal_latency(self) -> float:
+        """Expected one-way latency of a typical message (no rng involved).
+
+        Used to seed RTT-aware maintenance cadences before enough real
+        messages have been observed to average over.
+        """
+        raise NotImplementedError
+
     def validate(self) -> None:
         """Raise ``ValueError`` for physically meaningless settings."""
 
@@ -77,6 +95,9 @@ class ConstantLatency(LatencyModel):
     value: float = 0.001
 
     def sample(self, rng, source: str, destination: str) -> float:
+        return self.value
+
+    def nominal_latency(self) -> float:
         return self.value
 
     def validate(self) -> None:
@@ -95,6 +116,9 @@ class UniformLatency(LatencyModel):
         if self.high <= self.low:
             return self.low
         return rng.uniform(self.low, self.high)
+
+    def nominal_latency(self) -> float:
+        return (self.low + self.high) / 2.0
 
     def validate(self) -> None:
         if self.low < 0 or self.high < self.low:
@@ -121,6 +145,14 @@ class LanWanLatency(LatencyModel):
         if self.site_of(source) == self.site_of(destination):
             return self.lan.sample(rng, source, destination)
         return self.wan.sample(rng, source, destination)
+
+    def nominal_latency(self) -> float:
+        # Expected latency for uniformly random endpoint pairs: a message
+        # crosses sites with probability (sites - 1) / sites.
+        if self.sites <= 1:
+            return self.lan.nominal_latency()
+        cross = (self.sites - 1) / self.sites
+        return cross * self.wan.nominal_latency() + (1 - cross) * self.lan.nominal_latency()
 
     def validate(self) -> None:
         if self.sites < 1:
@@ -229,10 +261,20 @@ class NetworkStats:
     per_method: Dict[str, int] = field(default_factory=dict)
     # RPCs per originating site (only populated under a LanWanLatency model).
     per_site_rpcs: Dict[str, int] = field(default_factory=dict)
+    # Running sum/count of sampled one-way latencies (not populated under the
+    # constant-latency fast path, where the latency is known without sampling).
+    latency_sum: float = 0.0
+    latency_samples: int = 0
 
     def record_call(self, method: str) -> None:
         self.rpc_calls += 1
         self.per_method[method] = self.per_method.get(method, 0) + 1
+
+    def mean_latency(self) -> Optional[float]:
+        """Mean sampled one-way latency, or ``None`` before any sample."""
+        if self.latency_samples == 0:
+            return None
+        return self.latency_sum / self.latency_samples
 
 
 # Metric series fed to an attached collector under a LanWanLatency model.
@@ -316,6 +358,9 @@ class Network:
         if fixed is not None:
             return fixed
         latency = self.latency_model.sample(self.rng, source, destination)
+        stats = self.stats
+        stats.latency_sum += latency
+        stats.latency_samples += 1
         site_of = self._site_of
         if site_of is not None and self.metrics is not None:
             self.metrics.record(
@@ -325,6 +370,22 @@ class Network:
                 latency,
             )
         return latency
+
+    # Minimum sampled messages before the observed mean outweighs the model's
+    # nominal latency in :meth:`observed_rtt`.
+    _RTT_WARMUP_SAMPLES = 32
+
+    def observed_rtt(self) -> float:
+        """Mean observed round trip (2x the mean one-way latency).
+
+        Until enough messages have been sampled the model's nominal latency is
+        reported instead, so RTT-seeded maintenance cadences are sensible from
+        the first round of a deployment's life.
+        """
+        stats = self.stats
+        if stats.latency_samples >= self._RTT_WARMUP_SAMPLES:
+            return 2.0 * stats.latency_sum / stats.latency_samples
+        return 2.0 * self.latency_model.nominal_latency()
 
     def _dropped(self) -> bool:
         prob = self.config.drop_probability

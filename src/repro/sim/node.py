@@ -69,7 +69,7 @@ class Node:
 
     def every(
         self,
-        period: float,
+        period,
         action: Callable[[], Any],
         jitter: float = 0.0,
         initial_delay: Optional[float] = None,
@@ -77,13 +77,24 @@ class Node:
     ) -> Process:
         """Run ``action`` every ``period`` seconds (plus uniform jitter).
 
+        ``period`` is either a float (fixed cadence) or a zero-argument
+        callable returning the delay before the *next* round -- that is how the
+        adaptive maintenance controllers (:mod:`repro.maintenance.cadence`)
+        drive the ring and replication loops without a second scheduling path.
+        The callable is consulted after every round, so a controller that
+        backs off or tightens takes effect on the very next sleep.
+
         ``action`` may be a plain callable or return a generator, in which case
         the periodic loop waits for it to complete before sleeping again --
         matching the paper's sequential stabilization rounds.
         """
+        period_source = period if callable(period) else None
+
+        def _next_period() -> float:
+            return period_source() if period_source is not None else period
 
         def _loop():
-            delay = period if initial_delay is None else initial_delay
+            delay = _next_period() if initial_delay is None else initial_delay
             if self.rng is not None and jitter > 0:
                 delay += self.rng.uniform(0, jitter)
             while True:
@@ -93,11 +104,12 @@ class Node:
                 result = action()
                 if inspect.isgenerator(result):
                     yield from result
-                delay = period
+                delay = _next_period()
                 if self.rng is not None and jitter > 0:
                     delay += self.rng.uniform(0, jitter)
 
-        return self.spawn(_loop(), name=name or f"every-{period}s")
+        label = name or (f"every-{period}s" if period_source is None else "every-adaptive")
+        return self.spawn(_loop(), name=label)
 
     # -- RPC ------------------------------------------------------------------
     def call(

@@ -1,4 +1,11 @@
-"""Workload generation: item streams, churn schedules and query mixes."""
+"""Workload generation: item streams, churn schedules and query mixes.
+
+Layer contract: pure generators -- no simulation state, no network, no
+protocol imports; every function takes an injected rng stream and returns
+plain schedules/keys.  The harness (and examples/tests) are the consumers;
+generators must stay deterministic for a given rng so scenario cells rerun
+bit-identically.
+"""
 
 from repro.workloads.items import (
     ItemWorkload,

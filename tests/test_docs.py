@@ -1,0 +1,67 @@
+"""Documentation checks: internal links resolve and fenced examples run.
+
+The ``docs/`` site is part of the layer contract (ARCHITECTURE.md documents
+the update-hook and spec-resolution contracts), so broken links or rotted
+examples are treated as test failures, not cosmetic issues.  The same checks
+run as the CI ``docs`` job.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted((REPO_ROOT / "docs").glob("*.md")) + [REPO_ROOT / "README.md"]
+
+# [text](target) -- excluding images and external schemes, handled below.
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _heading_slugs(text: str) -> set:
+    """GitHub-style anchors for every markdown heading in ``text``."""
+    slugs = set()
+    for line in text.splitlines():
+        if not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip().lower()
+        slug = re.sub(r"[^\w\- ]", "", title).replace(" ", "-")
+        slugs.add(slug)
+    return slugs
+
+
+def _internal_links(path: Path):
+    for target in _LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        yield target
+
+
+def test_doc_files_exist():
+    names = {path.name for path in DOC_FILES}
+    assert {"ARCHITECTURE.md", "SCENARIOS.md", "BENCH_FORMAT.md", "README.md"} <= names
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_internal_links_resolve(doc: Path):
+    for target in _internal_links(doc):
+        file_part, _, anchor = target.partition("#")
+        resolved = doc if file_part == "" else (doc.parent / file_part).resolve()
+        assert resolved.exists(), f"{doc.name}: broken link {target!r}"
+        if anchor and resolved.suffix == ".md":
+            slugs = _heading_slugs(resolved.read_text())
+            assert anchor in slugs, f"{doc.name}: missing anchor {target!r}"
+
+
+def test_scenarios_doc_examples_run():
+    """The fenced registry examples in SCENARIOS.md execute as doctests."""
+    results = doctest.testfile(
+        str(REPO_ROOT / "docs" / "SCENARIOS.md"),
+        module_relative=False,
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.attempted > 0
+    assert results.failed == 0

@@ -61,7 +61,13 @@ def test_builtin_scenarios_registered():
 def test_scale_sweep_suite_composition():
     assert "scale_sweep" in suite_names()
     suite = get_suite("scale_sweep")
-    assert suite.scenarios == ("scale_100", "scale_300", "scale_1000", "scale_3000")
+    assert suite.scenarios == (
+        "scale_100",
+        "scale_300",
+        "scale_1000",
+        "scale_3000",
+        "scale_5000",
+    )
     assert suite.bench_name == "scale"
 
 
