@@ -132,6 +132,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"({cell['events_per_wall_s']:.0f}/s) ring={cell['ring_members']} "
                 f"items={cell['items_stored']}/{cell['items_requested']}"
             )
+            for phase in cell.get("phases", ()):
+                timed_out = " START-TIMEOUT" if phase["start_timed_out"] else ""
+                print(
+                    f"  {phase['phase']}: {phase['start_condition']} "
+                    f"wait={phase['wait_s']:.1f}s sim={phase['sim_seconds']:.1f}s "
+                    f"ring={phase['ring_members_start']}->{phase['ring_members']} "
+                    f"rpcs={phase['rpc_calls']}{timed_out}"
+                )
         elif "figure" in cell:
             from repro.harness.reporting import format_table
 

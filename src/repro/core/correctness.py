@@ -21,7 +21,7 @@ under identical workloads and count how often each checker reports violations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.histories import History, Operation
 from repro.datastore.ranges import segments_cover_interval, segments_overlap

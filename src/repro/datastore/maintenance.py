@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.datastore.items import Item, items_from_wire, items_to_wire
+from repro.datastore.items import items_from_wire, items_to_wire
 from repro.datastore.ranges import CircularRange
 from repro.datastore.store import DataStore
 from repro.index.config import IndexConfig
@@ -161,16 +161,23 @@ class StorageBalancer:
                     or self.store.item_count() < 2
                 ):
                     return
-                # Order items by their clockwise distance from the range's lower
-                # bound (for a full range -- the single-peer bootstrap case --
-                # the peer's own value plays that role) and split at the median.
-                base = (
-                    self.ring.value if self.store.range.full else self.store.range.low
-                )
+                # Only items inside the *ring-coherent* slice of the range can
+                # seed a split (see _split_candidates): a split key below the
+                # boundary the ring currently recognises produces a partner
+                # whose join is redirected forever -- it aborts at its attempt
+                # cap, returns to the pool, and the periodic check retries the
+                # same doomed split indefinitely.
+                base = self._split_base()
                 ordered = sorted(
-                    self.store.items.all_items(),
+                    self._split_candidates(),
                     key=lambda item: self._clockwise_distance(item.skv, base),
                 )
+                if len(ordered) <= self.config.overflow_threshold or len(ordered) < 2:
+                    # Overflowed only counting items the ring would not accept
+                    # a join for (stranded by a boundary move): a split cannot
+                    # help, so defer instead of churning the free-peer pool.
+                    self._record_op("split_deferred", reason="ring_boundary_mismatch")
+                    return
                 middle = (len(ordered) - 1) // 2
                 split_key = ordered[middle].skv
                 lower_items = ordered[: middle + 1]
@@ -520,6 +527,65 @@ class StorageBalancer:
             }
         finally:
             self.store.range_lock.release_write()
+
+    def _split_base(self) -> float:
+        """The lower boundary a split must stay strictly above.
+
+        Normally the store range's lower bound (or the peer's own value for
+        the bootstrap full range).  When the ring's predecessor pointer sits
+        *inside* the store range -- a peer inserted between us and our old
+        boundary while the store's range lagged behind -- the predecessor's
+        value is the effective boundary: the ring will never accept a join at
+        a value the predecessor already claims.
+        """
+        if self.store.range is None or self.store.range.full:
+            return self.ring.value
+        base = self.store.range.low
+        pred_value = self.ring.pred_value
+        if (
+            self.ring.pred_address not in (None, self.node.address)
+            and pred_value is not None
+            and pred_value != self.ring.value
+            and self._clockwise_distance(pred_value, base)
+            < self._clockwise_distance(self.ring.value, base)
+        ):
+            base = pred_value
+        return base
+
+    def _split_candidates(self) -> list:
+        """Items a split could legitimately hand to a new ring member.
+
+        Items at or below :meth:`_split_base` (strays stranded by a boundary
+        move, or items the ring's current predecessor already claims) are
+        excluded -- a split keyed on one of them can never complete.
+        """
+        items = self.store.items.all_items()
+        if self.store.range is None:
+            return []
+        if self.store.range.full:
+            return list(items)
+        base = self._split_base()
+        own_distance = self._clockwise_distance(self.ring.value, base)
+        return [
+            item
+            for item in items
+            if self._clockwise_distance(item.skv, base) <= own_distance
+        ]
+
+    def split_feasible(self) -> bool:
+        """Whether an overflow split could currently be accepted by the ring.
+
+        Used by :meth:`repro.index.pring.PRingIndex.split_pressure` (the
+        phase executor's quiescence signal): a store whose overflow consists
+        of ring-stranded items exerts no split pressure -- retrying its split
+        would spin forever, and the deployment is as settled as it can get.
+        """
+        if not self.store.active or self.store.range is None:
+            return False
+        if self.store.item_count() <= self.config.overflow_threshold:
+            return False
+        candidates = self._split_candidates()
+        return len(candidates) > self.config.overflow_threshold and len(candidates) >= 2
 
     def _distance_from_low(self, key: float) -> float:
         """Clockwise distance of ``key`` from this peer's range lower bound."""

@@ -12,14 +12,25 @@ runs through the exact same driver.
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.correctness import QueryRecord
+from repro.harness.phases import PhaseResult, PhaseSpec
 from repro.index.config import IndexConfig
 from repro.index.pring import PRingIndex
-from repro.workloads.churn import FAIL, JOIN, ChurnSchedule, failure_schedule, join_schedule
+from repro.workloads.churn import (
+    FAIL,
+    JOIN,
+    ChurnSchedule,
+    failure_schedule,
+    flash_crowd_schedule,
+    join_schedule,
+)
 from repro.workloads.items import ItemWorkload, generate_keys
+from repro.workloads.queries import QueryWorkload
 
 
 @dataclass
@@ -116,6 +127,226 @@ class ClusterExperiment:
         settle = settings.settle_time if extra_settle is None else extra_settle
         index.run(duration + settle)
         return index
+
+    # ------------------------------------------------------------------ phased lifecycle
+    def run_phases(
+        self,
+        phases: Sequence[PhaseSpec],
+        total_peers: Optional[int] = None,
+    ) -> Tuple[List[PhaseResult], List["QueryOutcome"], List[str]]:
+        """Execute a declarative phase sequence (see :mod:`repro.harness.phases`).
+
+        Phases run strictly one after another; each phase first waits for its
+        start condition (offset, then membership fraction, then quiescence --
+        all bounded by ``start_timeout``), then plays its bound schedules and
+        settles.  Returns the per-phase measurements, the query outcomes of
+        every query-bearing phase (in execution order) and the addresses of
+        all correlated-failure victims.
+        """
+        total = self.settings.peers if total_peers is None else total_peers
+        if not self.index.bootstrapped:
+            self.index.bootstrap()
+        results: List[PhaseResult] = []
+        outcomes: List[QueryOutcome] = []
+        victims: List[str] = []
+        for phase in phases:
+            record, phase_outcomes, phase_victims = self._execute_phase(phase, total)
+            results.append(record)
+            outcomes.extend(phase_outcomes)
+            victims.extend(phase_victims)
+        return results, outcomes, victims
+
+    def _execute_phase(
+        self, phase: PhaseSpec, total_peers: int
+    ) -> Tuple[PhaseResult, List["QueryOutcome"], List[str]]:
+        """Wait for the phase's start condition, then play its bound activity."""
+        index = self.index
+        sim = index.sim
+        wall_started = time.perf_counter()
+        events_before = sim.events_processed
+        rpc_before = index.network.stats.rpc_calls
+        per_method_before = dict(index.network.stats.per_method)
+        phase_started = sim.now
+
+        timed_out = self._wait_for_start(phase, total_peers)
+        activity_started = sim.now
+        members_at_start = len(index.ring_members())
+
+        # A correlated shot fires at the instant the phase starts (rack outage).
+        victims: List[str] = []
+        if phase.churn.correlated_failures > 0:
+            victims = self.fail_correlated(phase.churn.correlated_failures)
+
+        joins: Optional[ChurnSchedule] = None
+        if phase.arrivals > 0:
+            joins = join_schedule(
+                phase.arrivals, period=phase.arrival_period, start=sim.now + phase.arrival_start
+            )
+        if phase.churn.flash_crowd_peers > 0:
+            crowd = flash_crowd_schedule(
+                phase.churn.flash_crowd_peers,
+                at=sim.now + phase.churn.flash_crowd_at,
+                spacing=phase.churn.flash_crowd_spacing,
+            )
+            joins = crowd if joins is None else joins.merged_with(crowd)
+
+        workload: Optional[ItemWorkload] = None
+        if phase.workload is not None:
+            spec = phase.workload
+            keys = generate_keys(
+                spec.distribution,
+                spec.items,
+                self.config.key_space,
+                index.rngs.stream("workload"),
+                **dict(spec.params),
+            )
+            self.inserted_keys.extend(keys)
+            workload = ItemWorkload(
+                keys, insert_rate=spec.insert_rate, start_time=sim.now + phase.workload_start
+            )
+
+        if joins is not None and len(joins) > 0:
+            sim.process(self._membership_driver(joins), name=f"driver:{phase.name}-joins")
+        if workload is not None:
+            sim.process(self._item_driver(workload), name=f"driver:{phase.name}-items")
+        if phase.churn.failure_rate_per_100s > 0:
+            schedule = failure_schedule(
+                phase.churn.failure_rate_per_100s,
+                phase.churn.failure_window,
+                index.rngs.stream("failures"),
+                start=sim.now,
+            )
+            sim.process(self._membership_driver(schedule), name=f"driver:{phase.name}-failures")
+
+        active = phase.duration
+        if active is None:
+            # Derived active time: long enough to play every bound schedule
+            # (the same formula the legacy build phase used).
+            candidates = [0.0]
+            if joins is not None and len(joins) > 0:
+                candidates.append(joins.duration - sim.now)
+            if workload is not None:
+                candidates.append(workload.duration + phase.workload_start)
+            if phase.churn.failure_rate_per_100s > 0:
+                candidates.append(phase.churn.failure_window)
+            active = max(candidates)
+        if active > 0:
+            index.run(active)
+
+        outcomes: List[QueryOutcome] = []
+        if phase.queries is not None and phase.queries.count > 0:
+            mix = phase.queries
+            query_workload = QueryWorkload(
+                count=mix.count,
+                selectivity=mix.selectivity,
+                key_space=self.config.key_space,
+                rng=index.rngs.stream("query-mix"),
+            )
+            for lb, ub in query_workload.queries():
+                outcomes.append(self.run_query(lb, ub))
+                if mix.spacing > 0:
+                    self.settle(mix.spacing)
+
+        if phase.settle > 0:
+            index.run(phase.settle)
+
+        per_method_after = index.network.stats.per_method
+        rpc_per_method = {
+            method: count - per_method_before.get(method, 0)
+            for method, count in per_method_after.items()
+            if count - per_method_before.get(method, 0) > 0
+        }
+        record = PhaseResult(
+            phase=phase.name,
+            start_condition=phase.start_condition,
+            started_at_s=phase_started,
+            activity_at_s=activity_started,
+            wait_s=activity_started - phase_started,
+            start_timed_out=timed_out,
+            sim_seconds=sim.now - phase_started,
+            wall_clock_s=time.perf_counter() - wall_started,
+            events_processed=sim.events_processed - events_before,
+            rpc_calls=index.network.stats.rpc_calls - rpc_before,
+            rpc_per_method=rpc_per_method,
+            ring_members_start=members_at_start,
+            ring_members=len(index.ring_members()),
+            free_peers=len(index.free_peers()),
+            items_stored=index.total_stored_items(),
+            queries_run=len(outcomes),
+            queries_complete=sum(1 for outcome in outcomes if outcome.complete),
+            correlated_failures_injected=len(victims),
+        )
+        return record, outcomes, victims
+
+    def _wait_for_start(self, phase: PhaseSpec, total_peers: int) -> bool:
+        """Block (in simulated time) until the phase's start condition holds.
+
+        Conditions compose: the offset elapses first, then membership
+        fraction, then quiescence.  Returns whether any bounded condition gave
+        up waiting (``start_timeout``) -- the phase still runs, so a wedged
+        deployment degrades to the legacy wall-clock behaviour instead of
+        hanging.
+        """
+        index = self.index
+        sim = index.sim
+        if phase.start_offset > 0:
+            index.run(phase.start_offset)
+        # One shared budget for the bounded conditions: time spent waiting for
+        # the membership fraction is deducted from the quiescence wait.
+        deadline = sim.now + phase.start_timeout
+        timed_out = False
+        if phase.start_fraction is not None:
+            target = max(1, math.ceil(phase.start_fraction * total_peers))
+            while len(index.ring_members()) < target:
+                if sim.now >= deadline:
+                    timed_out = True
+                    break
+                index.run(min(phase.start_poll, deadline - sim.now))
+        if phase.start_quiescence is not None:
+            remaining = deadline - sim.now
+            if remaining <= 0:
+                timed_out = True
+            else:
+                quiesced = self._wait_for_quiescence(
+                    phase.start_quiescence, phase.start_poll, remaining
+                )
+                timed_out = timed_out or not quiesced
+        return timed_out
+
+    def _wait_for_quiescence(self, hold: float, poll: float, timeout: float) -> bool:
+        """Wait until no joins/splits were in flight for ``hold`` seconds.
+
+        Three signals make a poll non-quiescent: a peer mid-way into the ring
+        (JOINING/INSERTING), a membership transition since the previous poll,
+        or :meth:`~repro.index.pring.PRingIndex.split_pressure` (an overflowed
+        store with a free peer available -- the cascade is between protocol
+        rounds, not finished).  The quiet window is measured from the start of
+        the wait at the earliest; any non-quiescent poll restarts it.  Returns
+        ``True`` once the deployment has been quiescent for a full window,
+        ``False`` on timeout.
+        """
+        index = self.index
+        sim = index.sim
+        membership = index.membership
+
+        def quiescent_now() -> bool:
+            return membership.in_flight_count() == 0 and not index.split_pressure()
+
+        deadline = sim.now + timeout
+        stamp = membership.transition_count
+        quiet_since = sim.now if quiescent_now() else None
+        while True:
+            if quiet_since is not None and sim.now - quiet_since >= hold:
+                return True
+            if sim.now >= deadline:
+                return False
+            index.run(min(poll, deadline - sim.now))
+            current = membership.transition_count
+            if not quiescent_now():
+                quiet_since = None
+            elif current != stamp or quiet_since is None:
+                quiet_since = sim.now
+            stamp = current
 
     # ------------------------------------------------------------------ churn extras
     def fail_correlated(self, count: int) -> List[str]:

@@ -28,9 +28,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, field, replace
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.harness.experiment import ClusterExperiment, ExperimentSettings
+from repro.harness.phases import (
+    ChurnSpec,
+    PhaseResult,
+    PhaseSpec,
+    QueryMixSpec,
+    WorkloadSpec,
+    validate_phases,
+)
 from repro.index.config import IndexConfig, default_config
 from repro.maintenance.policy import MaintenancePolicy, maintenance_policy_from_params
 from repro.sim.network import (
@@ -39,54 +47,34 @@ from repro.sim.network import (
     LatencyModel,
     latency_model_from_params,
 )
-from repro.workloads.churn import (
-    ChurnSchedule,
-    correlated_failure_schedule,
-    flash_crowd_schedule,
-)
-from repro.workloads.queries import QueryWorkload
+from repro.workloads.churn import ChurnSchedule, flash_crowd_schedule
+
+__all__ = [
+    "ChurnSpec",
+    "LatencySpec",
+    "MaintenanceSpec",
+    "PhaseResult",
+    "PhaseSpec",
+    "QueryMixSpec",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ScenarioSuite",
+    "WorkloadSpec",
+    "build_experiment",
+    "get_scenario",
+    "get_suite",
+    "register",
+    "register_suite",
+    "run_spec",
+    "scenario_names",
+    "suite_names",
+]
 
 
 # --------------------------------------------------------------------------- spec dataclasses
-@dataclass(frozen=True)
-class WorkloadSpec:
-    """The item stream of a scenario."""
-
-    items: int = 180
-    insert_rate: float = 2.0
-    distribution: str = "uniform"  # uniform | skewed | zipf
-    params: Mapping = field(default_factory=dict)  # extra args of the key generator
-
-
-@dataclass(frozen=True)
-class ChurnSpec:
-    """Membership dynamics beyond the steady one-peer-per-period arrivals."""
-
-    failure_rate_per_100s: float = 0.0
-    failure_window: float = 100.0
-    flash_crowd_peers: int = 0
-    flash_crowd_at: float = 0.0
-    flash_crowd_spacing: float = 0.05
-    correlated_failures: int = 0  # peers killed simultaneously after build
-
-    @property
-    def any_churn(self) -> bool:
-        return (
-            self.failure_rate_per_100s > 0
-            or self.flash_crowd_peers > 0
-            or self.correlated_failures > 0
-        )
-
-
-@dataclass(frozen=True)
-class QueryMixSpec:
-    """Range queries issued after the deployment settles."""
-
-    count: int = 0
-    selectivity: float = 0.02
-    spacing: float = 0.5  # simulated seconds between queries
-
-
+# WorkloadSpec / ChurnSpec / QueryMixSpec / PhaseSpec live in
+# :mod:`repro.harness.phases` (the executor needs them too) and are
+# re-exported here, their historical home.
 @dataclass(frozen=True)
 class LatencySpec:
     """The network conditions of a scenario.
@@ -134,7 +122,16 @@ class MaintenanceSpec:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """A complete, named description of one experiment cell."""
+    """A complete, named description of one experiment cell.
+
+    The lifecycle is declared either *flat* (the historical shape: the
+    ``workload``/``churn``/``queries`` fields plus ``settle_time``, executed
+    as build -> failures -> outage -> queries) or *phased* (an explicit
+    ``phases`` tuple of :class:`~repro.harness.phases.PhaseSpec`).  When
+    ``phases`` is empty, :meth:`resolved_phases` synthesises the legacy
+    sequence from the flat fields, so both shapes run through the same
+    executor and a flat spec behaves exactly as it always did.
+    """
 
     name: str
     description: str = ""
@@ -148,6 +145,7 @@ class ScenarioSpec:
     queries: QueryMixSpec = QueryMixSpec()
     latency: LatencySpec = LatencySpec()
     maintenance: MaintenanceSpec = MaintenanceSpec()
+    phases: Tuple[PhaseSpec, ...] = ()  # explicit lifecycle; () = legacy flat shape
     config: Mapping = field(default_factory=dict)  # IndexConfig field overrides
     base_config: Optional[IndexConfig] = None  # full config object (figures use this)
 
@@ -194,6 +192,70 @@ class ScenarioSpec:
         """A copy with the given top-level fields replaced."""
         return replace(self, **overrides)
 
+    def resolved_phases(self) -> Tuple[PhaseSpec, ...]:
+        """The phase sequence this spec executes.
+
+        An explicit ``phases`` tuple is validated and returned as-is.  A flat
+        spec resolves into the legacy lifecycle -- it reproduces the
+        historical driver's event trace exactly (``tests/test_phases.py``
+        pins the equivalence):
+
+        1. ``build``: staggered arrivals + flash crowd + the item stream,
+           then ``settle_time`` of quiet;
+        2. ``failures`` (if a steady failure rate is set): the failure
+           window;
+        3. ``outage`` (if correlated failures are set): the simultaneous
+           shot, then ``settle_time`` of quiet;
+        4. ``queries`` (if a query mix is set): the query loop.
+        """
+        if self.phases:
+            validate_phases(self.phases)
+            return tuple(self.phases)
+        build_churn = ChurnSpec(
+            flash_crowd_peers=self.churn.flash_crowd_peers,
+            flash_crowd_at=self.churn.flash_crowd_at,
+            flash_crowd_spacing=self.churn.flash_crowd_spacing,
+        )
+        phases = [
+            PhaseSpec(
+                name="build",
+                arrivals=self.peers - 1,
+                arrival_period=self.join_period,
+                churn=build_churn,
+                workload=self.workload,
+                settle=self.settle_time,
+            )
+        ]
+        if self.churn.failure_rate_per_100s > 0:
+            phases.append(
+                PhaseSpec(
+                    name="failures",
+                    churn=ChurnSpec(
+                        failure_rate_per_100s=self.churn.failure_rate_per_100s,
+                        failure_window=self.churn.failure_window,
+                    ),
+                )
+            )
+        if self.churn.correlated_failures > 0:
+            phases.append(
+                PhaseSpec(
+                    name="outage",
+                    churn=ChurnSpec(correlated_failures=self.churn.correlated_failures),
+                    settle=self.settle_time,
+                )
+            )
+        if self.queries.count > 0:
+            phases.append(PhaseSpec(name="queries", queries=self.queries))
+        return tuple(phases)
+
+    def total_items(self) -> int:
+        """Items the resolved lifecycle inserts (the ``items_requested`` figure)."""
+        return sum(
+            phase.workload.items
+            for phase in self.resolved_phases()
+            if phase.workload is not None
+        )
+
 
 @dataclass
 class ScenarioResult:
@@ -225,6 +287,9 @@ class ScenarioResult:
     # Site-aware network diagnostics (populated only under a lan_wan model).
     per_site_rpcs: Dict[str, int] = field(default_factory=dict)
     latency_histograms: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    # Per-phase measurements (serialised PhaseResult dicts, execution order);
+    # the event/RPC deltas sum to the scenario totals above.
+    phases: List[Dict[str, Any]] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, Any]:
         return asdict(self)
@@ -240,6 +305,7 @@ _REPORTED_METRICS = (
     "route_hops",
     "join_redirect",
     "join_redirect_cached",
+    "ring_ping_fresh_skip",
     INTRA_SITE_LATENCY_METRIC,
     CROSS_SITE_LATENCY_METRIC,
 )
@@ -266,37 +332,18 @@ def build_experiment(spec: ScenarioSpec, seed: Optional[int] = None) -> ClusterE
 def run_spec(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResult:
     """Execute one scenario cell and collect its measurements.
 
-    Phases: build (arrivals + item stream + flash crowd), steady failure
-    phase, correlated-failure shot, query mix, final settle.
+    The spec's resolved phase sequence (explicit ``phases``, or the legacy
+    build -> failures -> outage -> queries decomposition of a flat spec) runs
+    through :meth:`ClusterExperiment.run_phases`; the result carries both the
+    historical scenario totals and the per-phase breakdown.
     """
     seed = spec.seed if seed is None else seed
     started = time.perf_counter()
     experiment = build_experiment(spec, seed)
     index = experiment.index
-    experiment.build()
-
-    if spec.churn.failure_rate_per_100s > 0:
-        experiment.inject_failures(
-            spec.churn.failure_rate_per_100s, spec.churn.failure_window
-        )
-
-    correlated = []
-    if spec.churn.correlated_failures > 0:
-        correlated = experiment.fail_correlated(spec.churn.correlated_failures)
-        experiment.settle(spec.settle_time)
-
-    outcomes = []
-    if spec.queries.count > 0:
-        workload = QueryWorkload(
-            count=spec.queries.count,
-            selectivity=spec.queries.selectivity,
-            key_space=index.config.key_space,
-            rng=index.rngs.stream("query-mix"),
-        )
-        for lb, ub in workload.queries():
-            outcomes.append(experiment.run_query(lb, ub))
-            if spec.queries.spacing > 0:
-                experiment.settle(spec.queries.spacing)
+    phase_results, outcomes, correlated = experiment.run_phases(
+        spec.resolved_phases(), total_peers=spec.peers
+    )
 
     wall = time.perf_counter() - started
     metrics = {}
@@ -320,7 +367,7 @@ def run_spec(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResult:
         peers_requested=spec.peers,
         ring_members=len(index.ring_members()),
         free_peers=len(index.free_peers()),
-        items_requested=spec.workload.items,
+        items_requested=spec.total_items(),
         items_stored=index.total_stored_items(),
         rpc_calls=index.network.stats.rpc_calls,
         rpc_timeouts=index.network.stats.rpc_timeouts,
@@ -338,6 +385,7 @@ def run_spec(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResult:
         metrics=metrics,
         per_site_rpcs=dict(index.network.stats.per_site_rpcs),
         latency_histograms=latency_histograms,
+        phases=[phase.as_dict() for phase in phase_results],
     )
 
 
@@ -476,23 +524,54 @@ register(
 # ring on demand anyway), items stream in fast, and the periodic protocols run
 # at a relaxed cadence so maintenance traffic scales with peer count rather
 # than dominating it.  Every cell keeps churn enabled, per the acceptance bar.
+#
+# The lifecycle is explicitly phased (build -> settle -> stress): the build
+# phase plays the join crowd and the item stream with *no* failures, the
+# settle phase starts only once the split cascade has been quiescent for a
+# full window, and only then does the stress phase open the failure window
+# and run the query mix.  Under the old flat shape the failure window raced
+# the split cascade, which made end-state membership swing ~±15% across
+# seeds (the ROADMAP's "chaotically bimodal" item); gating stress on
+# quiescence pins the pre-failure state and shrinks the spread to a few %.
 def _scale_spec(name: str, peers: int, description: str) -> ScenarioSpec:
     items = peers * 8  # ~storage factor x 1.6 so splits pull most peers into the ring
+    workload = WorkloadSpec(items=items, insert_rate=max(8.0, peers / 8.0))
     return ScenarioSpec(
         name=name,
         description=description,
-        peers=2,  # staggered arrivals are irrelevant at scale; the crowd joins below
-        join_period=1.0,
-        settle_time=25.0,
-        workload=WorkloadSpec(items=items, insert_rate=max(8.0, peers / 8.0)),
-        churn=ChurnSpec(
-            failure_rate_per_100s=min(12.0, peers / 25.0),
-            failure_window=60.0,
-            flash_crowd_peers=peers - 2,
-            flash_crowd_at=1.0,
-            flash_crowd_spacing=0.02,
+        peers=peers,
+        phases=(
+            PhaseSpec(
+                name="build",
+                description="join crowd + item stream, failure-free",
+                arrivals=1,  # one staggered arrival; the crowd below brings the rest
+                arrival_period=1.0,
+                churn=ChurnSpec(
+                    flash_crowd_peers=peers - 2,
+                    flash_crowd_at=1.0,
+                    flash_crowd_spacing=0.02,
+                ),
+                workload=workload,
+                settle=5.0,
+            ),
+            PhaseSpec(
+                name="settle",
+                description="wait out the split cascade (quiescence-gated)",
+                start_quiescence=10.0,
+                start_timeout=600.0,
+                settle=2.0,
+            ),
+            PhaseSpec(
+                name="stress",
+                description="steady failure window + query mix",
+                churn=ChurnSpec(
+                    failure_rate_per_100s=min(12.0, peers / 25.0),
+                    failure_window=60.0,
+                ),
+                queries=QueryMixSpec(count=10, selectivity=0.005),
+                settle=10.0,
+            ),
         ),
-        queries=QueryMixSpec(count=10, selectivity=0.005),
         config={
             "stabilization_period": 8.0,
             "predecessor_check_period": 8.0,
@@ -507,22 +586,17 @@ register(_scale_spec("scale_300", 300, "300-peer deployment with churn"))
 register(_scale_spec("scale_1000", 1000, "1000-peer deployment with churn"))
 register(_scale_spec("scale_3000", 3000, "3000-peer deployment with churn"))
 register(_scale_spec("scale_5000", 5000, "5000-peer deployment with churn"))
-register_suite(
-    ScenarioSuite(
-        name="scale_sweep",
-        scenarios=("scale_100", "scale_300", "scale_1000", "scale_3000", "scale_5000"),
-        description="wall-clock and event-throughput across 100..5000 peers",
-        bench_name="scale",
-    )
-)
 
 # ---- adaptive maintenance --------------------------------------------------
 # The same scale cells with the adaptive maintenance policy: server-side
 # join-redirect caching, ring_ping validation cadence that backs off while
-# validations succeed, and RTT-seeded stabilization/replication periods.  The
-# fixed cell and its ``_adaptive`` twin differ in exactly one spec field, so
-# ``repro-run adaptive_ablation`` is the fixed-vs-adaptive ablation and the
-# per-method RPC profiles in the BENCH envelope carry the ``ring_ping`` delta.
+# validations succeed (plus per-entry freshness: recently confirmed successors
+# are not re-pinged), router-refresh cadence that backs off while table walks
+# run clean, and RTT-seeded stabilization/replication periods.  The fixed cell
+# and its ``_adaptive`` twin differ in exactly one spec field, so ``repro-run
+# adaptive_ablation`` is the fixed-vs-adaptive ablation and the per-method RPC
+# profiles in the BENCH envelope carry the ``ring_ping``/``route_table_entry``
+# deltas.
 ADAPTIVE_MAINTENANCE = MaintenanceSpec(policy="adaptive")
 
 
@@ -536,7 +610,24 @@ def _adaptive_variant(base_name: str) -> ScenarioSpec:
 
 
 register(_adaptive_variant("scale_100"))
+register(_adaptive_variant("scale_300"))
 register(_adaptive_variant("scale_1000"))
+register(_adaptive_variant("scale_5000"))
+register_suite(
+    ScenarioSuite(
+        name="scale_sweep",
+        scenarios=(
+            "scale_100",
+            "scale_300",
+            "scale_1000",
+            "scale_3000",
+            "scale_5000",
+            "scale_5000_adaptive",
+        ),
+        description="wall-clock and event-throughput across 100..5000 peers",
+        bench_name="scale",
+    )
+)
 register_suite(
     ScenarioSuite(
         name="adaptive_ablation",

@@ -30,13 +30,18 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List, Optional, TYPE_CHECKING
 
-from repro.ring.entries import INSERTING, JOINED, LEAVING
+from repro.ring.entries import INSERTING, JOINED, JOINING, LEAVING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.index.peer import IndexPeer
 
 # Ring states that make a live peer a ring member (mirrors ``ChordRing.is_joined``).
 _MEMBER_STATES = frozenset((JOINED, INSERTING, LEAVING))
+
+# Ring states of a peer mid-way through entering the ring (a join or a split's
+# insert still in flight) -- what the phase executor's quiescence condition
+# watches (:meth:`MembershipIndex.in_flight_count`).
+_IN_FLIGHT_STATES = frozenset((JOINING, INSERTING))
 
 
 class MembershipIndex:
@@ -53,11 +58,19 @@ class MembershipIndex:
         # be removed in O(log n) even while its value is being updated.
         self._sorted: List[tuple] = []
         self._member_value: Dict[str, float] = {}
+        # Quiescence bookkeeping: peers currently JOINING/INSERTING, plus a
+        # monotonic stamp bumped on *every* membership change so "nothing
+        # happened for T seconds" is one integer comparison per poll.
+        self._in_flight: Dict[str, "IndexPeer"] = {}
+        self.transition_count: int = 0
 
     # ------------------------------------------------------------------ update hooks
     def track(self, peer: "IndexPeer") -> None:
         """Start tracking a newly created peer and hook into its ring."""
         peer.ring.membership = self
+        self.transition_count += 1
+        if peer.ring.state in _IN_FLIGHT_STATES:
+            self._in_flight[peer.address] = peer
         self._live[peer.address] = peer
         if peer.ring.state in _MEMBER_STATES:
             self._enter_ring(peer)
@@ -68,6 +81,11 @@ class MembershipIndex:
         """Ring layer hook: the peer's lifecycle state transitioned."""
         if peer.address not in self._live:
             return  # a failed peer's ring can no longer change its membership
+        self.transition_count += 1
+        if new_state in _IN_FLIGHT_STATES:
+            self._in_flight[peer.address] = peer
+        else:
+            self._in_flight.pop(peer.address, None)
         was_member = old_state in _MEMBER_STATES
         is_member = new_state in _MEMBER_STATES
         if was_member == is_member:
@@ -88,9 +106,20 @@ class MembershipIndex:
 
     def peer_gone(self, peer: "IndexPeer") -> None:
         """The peer failed or departed: drop it from every set."""
+        self.transition_count += 1
         self._live.pop(peer.address, None)
         self._free.pop(peer.address, None)
+        self._in_flight.pop(peer.address, None)
         self._leave_ring(peer.address)
+
+    def in_flight_count(self) -> int:
+        """Live peers currently mid-way into the ring (JOINING/INSERTING).
+
+        Together with :attr:`transition_count` this is the quiescence signal:
+        a deployment is quiescent over a window when no peer was in flight and
+        the stamp did not move for its whole length.
+        """
+        return len(self._in_flight)
 
     # ------------------------------------------------------------------ internals
     def _enter_ring(self, peer: "IndexPeer") -> None:

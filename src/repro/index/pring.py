@@ -74,6 +74,11 @@ class PRingIndex:
         self.membership.track(peer)
         return peer
 
+    @property
+    def bootstrapped(self) -> bool:
+        """Whether the first peer has been created."""
+        return self._bootstrapped
+
     def bootstrap(self) -> IndexPeer:
         """Create the first peer (owning the whole key space)."""
         if self._bootstrapped:
@@ -128,6 +133,27 @@ class PRingIndex:
     def total_stored_items(self) -> int:
         """Total number of items across all live Data Stores."""
         return sum(peer.store.item_count() for peer in self.ring_members())
+
+    def split_pressure(self) -> bool:
+        """Whether more ring growth is still pending.
+
+        True while some member's Data Store is overflowed with a *feasible*
+        split (see :meth:`StorageBalancer.split_feasible`) and a free peer is
+        available to absorb it -- i.e. the split cascade has not finished, it
+        is merely between protocol rounds.  The phase executor's quiescence
+        condition uses this so a lull between split bursts (splits are paced
+        by periodic balancer checks) is not mistaken for a settled
+        deployment.  An overflow made of ring-stranded items (a boundary
+        moved since they arrived) is deliberately *not* pressure: no split
+        can ever service it.
+        """
+        if not self.membership.free_peers():
+            return False
+        threshold = self.config.overflow_threshold
+        return any(
+            peer.store.item_count() > threshold and peer.balancer.split_feasible()
+            for peer in self.membership.ring_members()
+        )
 
     # ------------------------------------------------------------------ time control
     def run(self, duration: float) -> float:

@@ -8,12 +8,20 @@ describe the policy as a name plus flat JSON-able parameters
 :func:`maintenance_policy_from_params`, mirroring
 :func:`repro.sim.network.latency_model_from_params`.
 
-Three independent knobs:
+Four independent knobs:
 
 * ``validation`` (``fixed`` | ``adaptive``) -- the cadence of the
   ``ring_ping`` validation loops (predecessor check, successor validation).
   ``adaptive`` backs off while validations succeed and tightens after a
-  failure or membership change (:class:`~repro.maintenance.cadence.AdaptiveCadence`).
+  failure or membership change (:class:`~repro.maintenance.cadence.AdaptiveCadence`),
+  and additionally enables per-entry validation *freshness*: a successor
+  entry confirmed alive within ``freshness_factor`` stabilization periods
+  (by a ping, a stabilization round, or the peer stabilizing with us) is
+  skipped instead of re-pinged.
+* ``router`` (``fixed`` | ``adaptive``) -- the content-router table refresh
+  cadence.  ``adaptive`` backs off while consecutive refreshes reproduce the
+  same pointer table without errors and tightens as soon as the table
+  changes, a refresh RPC fails, or the ring observes a neighbourhood change.
 * ``cadence`` (``fixed`` | ``rtt_scaled``) -- the stabilization and replica
   refresh periods.  ``rtt_scaled`` seeds them from the network's observed
   round trip (:class:`~repro.maintenance.cadence.RttScaledCadence`).
@@ -40,6 +48,7 @@ from repro.maintenance.cadence import (
 from repro.maintenance.redirect_cache import RedirectCache
 
 VALIDATION_MODES = ("fixed", "adaptive")
+ROUTER_MODES = ("fixed", "adaptive")
 CADENCE_MODES = ("fixed", "rtt_scaled")
 
 
@@ -48,6 +57,7 @@ class MaintenancePolicy:
     """All maintenance-adaptivity tunables of one deployment."""
 
     validation: str = "fixed"
+    router: str = "fixed"
     cadence: str = "fixed"
     redirect_cache_size: int = 0
 
@@ -55,6 +65,16 @@ class MaintenancePolicy:
     backoff_growth: float = 2.0
     backoff_max: float = 4.0
     success_threshold: int = 2
+    # Per-entry validation freshness: a successor confirmed alive within
+    # ``freshness_factor * stabilization_period`` is not re-pinged.  0
+    # disables the skip (every validation round pings every entry).
+    freshness_factor: float = 0.0
+
+    # -- adaptive router-refresh tuning --------------------------------------
+    # Router tables go stale only when membership moves, so the refresh loop
+    # may back off further than the liveness validations before staleness
+    # shows up in route lengths (stale pointers already fall back gracefully).
+    router_backoff_max: float = 6.0
 
     # -- rtt_scaled cadence tuning (see RttScaledCadence) -------------------
     reference_rtt: float = 0.004
@@ -70,6 +90,14 @@ class MaintenancePolicy:
                 f"unknown validation mode {self.validation!r}; "
                 f"known: {', '.join(VALIDATION_MODES)}"
             )
+        if self.router not in ROUTER_MODES:
+            raise ValueError(
+                f"unknown router mode {self.router!r}; known: {', '.join(ROUTER_MODES)}"
+            )
+        if self.freshness_factor < 0:
+            raise ValueError("freshness_factor must be >= 0")
+        if self.router_backoff_max < 1.0:
+            raise ValueError("router_backoff_max must be >= 1")
         if self.cadence not in CADENCE_MODES:
             raise ValueError(
                 f"unknown cadence mode {self.cadence!r}; known: {', '.join(CADENCE_MODES)}"
@@ -101,6 +129,21 @@ class MaintenancePolicy:
             )
         return FixedCadence(base)
 
+    def router_controller(self, base: float) -> CadenceController:
+        """The controller driving the content router's table refresh loop."""
+        if self.router == "adaptive":
+            return AdaptiveCadence(
+                base,
+                growth=self.backoff_growth,
+                max_factor=self.router_backoff_max,
+                success_threshold=self.success_threshold,
+            )
+        return FixedCadence(base)
+
+    def validation_freshness(self, stabilization_period: float) -> float:
+        """The per-entry confirmation window, in seconds (0 = no skipping)."""
+        return self.freshness_factor * stabilization_period
+
     def maintenance_interval(
         self, base: float, rtt_source: Callable[[], Optional[float]]
     ) -> Union[float, Callable[[], float]]:
@@ -127,15 +170,17 @@ class MaintenancePolicy:
 #: The legacy behaviour: fixed timers, no redirect cache.
 FIXED_MAINTENANCE = MaintenancePolicy()
 
-# Named presets resolvable from scenario specs.  ``adaptive`` turns on all
-# three mechanisms; individual parameters can still be overridden, e.g.
+# Named presets resolvable from scenario specs.  ``adaptive`` turns on every
+# mechanism; individual parameters can still be overridden, e.g.
 # ``maintenance_policy_from_params("adaptive", redirect_cache_size=0)``.
 MAINTENANCE_POLICIES = {
     "fixed": {},
     "adaptive": {
         "validation": "adaptive",
+        "router": "adaptive",
         "cadence": "rtt_scaled",
         "redirect_cache_size": 16,
+        "freshness_factor": 1.5,
     },
 }
 

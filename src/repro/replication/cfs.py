@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.datastore.items import Item, ItemStore, items_from_wire, items_to_wire
+from repro.datastore.items import ItemStore, items_from_wire, items_to_wire
 from repro.datastore.store import DataStore
 from repro.index.config import IndexConfig
 from repro.replication.extra_hop import push_items_one_extra_hop

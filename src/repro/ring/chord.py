@@ -139,6 +139,16 @@ class ChordRing:
         # Last time each peer stabilized with us, newest last (adaptive
         # policy only; bounded -- see _note_heard_from).
         self._heard_from: dict = {}
+        # Per-entry validation freshness: when each peer was last confirmed
+        # alive first-hand (a ping reply, a stabilization round with it, or it
+        # stabilizing with us).  Successor validation skips re-pinging entries
+        # confirmed within the window instead of burning a ``ring_ping`` on a
+        # peer that just proved itself.  0 disables the skip entirely (the
+        # fixed policy's behaviour).
+        self._freshness_window = (
+            policy.validation_freshness(config.stabilization_period) or None
+        )
+        self._confirmed_at: dict = {}
 
         node.register_handler("ring_stabilize", self._handle_stabilize)
         node.register_handler("ring_ping", self._handle_ping)
@@ -197,6 +207,7 @@ class ChordRing:
 
     def _note_heard_from(self, address: str) -> None:
         """Record that ``address`` just stabilized with us (adaptive policy only)."""
+        self._note_confirmed(address)
         if self._passive_window is None:
             return
         heard = self._heard_from
@@ -204,6 +215,28 @@ class ChordRing:
         heard[address] = self.sim.now
         while len(heard) > self._HEARD_FROM_LIMIT:
             heard.pop(next(iter(heard)))
+
+    # Confirmation records only matter for peers near us on the ring (the
+    # successor list is a handful of entries); a few dozen slots absorb churn
+    # transients without growing with deployment size.
+    _CONFIRMED_LIMIT = 32
+
+    def _note_confirmed(self, address: str) -> None:
+        """Record a first-hand liveness confirmation of ``address``."""
+        if self._freshness_window is None or address == self.address:
+            return
+        confirmed = self._confirmed_at
+        confirmed.pop(address, None)
+        confirmed[address] = self.sim.now
+        while len(confirmed) > self._CONFIRMED_LIMIT:
+            confirmed.pop(next(iter(confirmed)))
+
+    def _confirmed_recently(self, address: str) -> bool:
+        """Whether ``address`` proved itself alive within the freshness window."""
+        if self._freshness_window is None:
+            return False
+        confirmed = self._confirmed_at.get(address)
+        return confirmed is not None and self.sim.now - confirmed <= self._freshness_window
 
     # ------------------------------------------------------------------ redirect cache
     def _cache_record(self, address: Optional[str], value: Optional[float]) -> None:
@@ -664,11 +697,13 @@ class ChordRing:
                 finally:
                     self.succ_lock.release_write()
                 self._cache_forget(target.address)
+                self._confirmed_at.pop(target.address, None)
                 self._succ_cadence.note_failure()
                 self._record_op("successor_failure_detected", failed=target.address)
                 continue
             except Interrupt:
                 raise
+            self._note_confirmed(target.address)
             yield from self._adopt(target, response)
             return
 
@@ -741,9 +776,12 @@ class ChordRing:
             gone = response.get("state") in (FREE, JOINING)
         except RpcError:
             gone = True
+        if not gone:
+            self._note_confirmed(pred_address)
         if gone:
             self._cache_forget(pred_address)
             self._heard_from.pop(pred_address, None)
+            self._confirmed_at.pop(pred_address, None)
             if self.pred_address != pred_address:
                 return
             self.pred_address = None
@@ -776,6 +814,12 @@ class ChordRing:
             targets = targets[1:]
         stale = []
         for entry in targets:
+            if self._confirmed_recently(entry.address):
+                # The entry proved itself alive within the freshness window
+                # (a ping, a stabilization round, or it stabilized with us):
+                # re-pinging it now would be pure redundant traffic.
+                self._record("ring_ping_fresh_skip", 1.0)
+                continue
             try:
                 response = yield self.node.call(
                     entry.address,
@@ -788,6 +832,8 @@ class ChordRing:
                 continue
             if response.get("state") in (FREE, JOINING):
                 stale.append(entry.address)
+            else:
+                self._note_confirmed(entry.address)
         if not stale:
             # An all-clear round (or nothing to check): the controller may
             # back off the next validation.
@@ -796,6 +842,7 @@ class ChordRing:
         self._succ_cadence.note_failure()
         for address in stale:
             self._cache_forget(address)
+            self._confirmed_at.pop(address, None)
         yield self.succ_lock.acquire_write()
         try:
             self.succ_list = [e for e in self.succ_list if e.address not in stale]

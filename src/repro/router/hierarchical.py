@@ -20,8 +20,30 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.index.config import IndexConfig
+from repro.ring.chord import RingListener
 from repro.router.linear import LinearRouter
 from repro.sim.network import RpcError
+
+
+class _RefreshTightener(RingListener):
+    """Feed ring neighbourhood changes back into the refresh cadence.
+
+    A changed successor or predecessor means membership moved right next to
+    this peer -- exactly when a backed-off routing table is most likely to be
+    stale -- so the refresh controller is reset to its base period.
+    """
+
+    def __init__(self, cadence):
+        self.cadence = cadence
+
+    def on_successor_changed(self, ring, new_address: str) -> None:
+        self.cadence.note_change()
+
+    def on_predecessor_changed(self, ring, old_address, old_value, new_address, new_value) -> None:
+        self.cadence.note_change()
+
+    def on_predecessor_failed(self, ring, old_address, old_value) -> None:
+        self.cadence.note_failure()
 
 
 class HierarchicalRingRouter(LinearRouter):
@@ -31,9 +53,17 @@ class HierarchicalRingRouter(LinearRouter):
         super().__init__(node, ring, store, config, metrics=metrics, history=history)
         # table[i] = (address, value) of the peer ~2**i positions clockwise.
         self.table: List[Tuple[str, float]] = []
+        # Refresh cadence (``config.maintenance``; fixed by default).  Under
+        # the adaptive policy the loop backs off while consecutive refreshes
+        # validate clean -- same pointers, no RPC errors -- and tightens the
+        # moment the table changes or the ring reports a neighbourhood change.
+        self._cadence = config.maintenance_policy.router_controller(
+            config.router_refresh_period
+        )
+        ring.add_listener(_RefreshTightener(self._cadence))
         node.register_handler("route_table_entry", self._handle_table_entry)
         node.every(
-            config.router_refresh_period,
+            self._cadence.interval,
             self._refresh_table,
             jitter=config.stabilization_jitter,
             name="router-refresh",
@@ -69,6 +99,16 @@ class HierarchicalRingRouter(LinearRouter):
         the round trips.  The walk also stops as soon as a pointer's clockwise
         distance stops growing -- the doubling has wrapped around the ring, and
         levels beyond that add traffic without shortening any route.
+
+        The refresh outcome feeds the cadence controller: a walk that
+        completes without hitting a dead pointer validated clean (the loop may
+        back off).  Exact pointer equality is deliberately *not* required --
+        far pointers drift between rounds because every peer rebuilds its
+        table asynchronously from everyone else's, and that drift is benign
+        (the pointer spread stays geometric over live peers).  Staleness
+        proper is what tightens the cadence: a failed refresh hop here, a
+        failed table jump during routing, or a ring neighbourhood change via
+        :class:`_RefreshTightener`.
         """
         if not self.ring.is_joined:
             return
@@ -86,6 +126,7 @@ class HierarchicalRingRouter(LinearRouter):
                 break
         own_value = self.ring.value
         last_distance = -1.0
+        rpc_failed = False
         while len(new_table) < self.config.router_table_size:
             if current is None or current in seen:
                 break
@@ -103,6 +144,7 @@ class HierarchicalRingRouter(LinearRouter):
                     current, "route_table_entry", {"level": len(new_table) - 1, "span": 2}
                 )
             except RpcError:
+                rpc_failed = True
                 break
             entries = response.get("entries") or []
             for entry in entries[:-1]:
@@ -124,6 +166,10 @@ class HierarchicalRingRouter(LinearRouter):
             current = tail.get("address") if tail else None
             current_value = tail.get("value") if tail else None
         self.table = new_table
+        if rpc_failed:
+            self._cadence.note_failure()
+        else:
+            self._cadence.note_success()
 
     # ------------------------------------------------------------------ routing
     def find_responsible(self, key: float, max_hops: int = 512):
@@ -146,6 +192,9 @@ class HierarchicalRingRouter(LinearRouter):
             try:
                 probe = yield self.node.call(current, "ds_probe", {"key": key})
             except RpcError:
+                # A dead hop is first-hand staleness evidence: revalidate the
+                # table at the base cadence until the walk runs clean again.
+                self._cadence.note_failure()
                 current = self.ring.first_live_successor()
                 continue
             if probe.get("owns"):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.index.config import IndexConfig, default_config
+from repro.index.config import default_config
 
 
 def test_defaults_follow_paper_section_6_1():

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.datastore.items import Item
-from repro.datastore.ranges import CircularRange
 from tests.conftest import build_cluster
 
 

@@ -53,6 +53,60 @@ def test_no_splits_without_free_peers():
     assert index.history.count("split_deferred") >= 1
 
 
+def test_ring_stranded_overflow_defers_split_instead_of_spinning():
+    """An overflow made of items the ring can no longer accept must not split.
+
+    Regression for the 5000-peer wedge: when a peer's effective ring boundary
+    moves past items it still holds (a half-completed split or a lagging
+    range), the old split logic kept picking a stranded item as the split key
+    -- the new peer's join was redirected forever, it returned to the pool,
+    and the periodic check retried the same doomed split indefinitely
+    (permanently blocking lifecycle quiescence).  Such stores must report no
+    split pressure and defer the split before touching the free-peer pool.
+    """
+    from repro.datastore.items import Item
+
+    index, keys = build_cluster(seed=44, peers=6)
+    for _ in range(4):  # make sure the pool has free peers to (not) consume
+        index.add_peer()
+    index.run(60.0)  # let any genuine splits the new free peers enable finish
+    assert not index.split_pressure()
+    members = sorted(index.ring_members(), key=lambda p: p.ring.value)
+    peer = members[2]
+    low = peer.store.range.low
+    # Strand items: overflow the store with keys at/below its lower boundary
+    # (as if the boundary moved up after they arrived).
+    for offset in range(index.config.overflow_threshold + 2):
+        peer.store.items.add(Item((low - 0.001 * (offset + 1)) % index.config.key_space))
+    assert peer.store.item_count() > index.config.overflow_threshold
+    in_range = len(peer.balancer._split_candidates())
+    assert in_range <= index.config.overflow_threshold
+    assert not peer.balancer.split_feasible()
+    assert not index.split_pressure()
+    # The split defers without consuming a free peer or wedging the balancer.
+    free_before = len(index.free_peers())
+    peer.balancer.schedule_split()
+    index.run(30.0)
+    assert peer.balancer._pending_split is None
+    assert not peer.balancer._balancing
+    assert len(index.free_peers()) == free_before
+    assert index.history.count("split_deferred") > 0
+
+
+def test_split_base_respects_a_predecessor_inside_the_range():
+    """A ring predecessor inside the store range tightens the split boundary."""
+    index, keys = build_cluster(seed=45, peers=6)
+    members = sorted(index.ring_members(), key=lambda p: p.ring.value)
+    peer = members[2]
+    low, own = peer.store.range.low, peer.ring.value
+    assert peer.balancer._split_base() == low
+    # Simulate the ring adopting a closer predecessor while the range lags.
+    inside = (low + (own - low) * 0.5) if own > low else own - 0.001
+    peer.ring.pred_address = "peerX"
+    peer.ring.pred_value = inside
+    assert peer.balancer._split_base() == inside
+
+
 def test_deletions_cause_merges_and_peers_become_free():
     index, keys = build_cluster(seed=44, peers=8)
     before = len(index.ring_members())

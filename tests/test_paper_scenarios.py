@@ -7,10 +7,8 @@ PEPPER protocol closes the hole.
 
 import pytest
 
-from repro import default_config
 from repro.core.correctness import (
     ItemTimeline,
-    QueryRecord,
     check_consistent_successor_pointers,
     check_query_result,
     count_lost_items,

@@ -85,7 +85,6 @@ def test_scan_and_naive_report_similar_hops(cluster):
 
 def test_scan_query_correct_during_concurrent_churn():
     index, keys = build_cluster(seed=72, peers=9)
-    peer = index.ring_members()[0]
     rng = index.rngs.stream("churn-test")
 
     def churn():

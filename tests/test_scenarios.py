@@ -67,6 +67,7 @@ def test_scale_sweep_suite_composition():
         "scale_1000",
         "scale_3000",
         "scale_5000",
+        "scale_5000_adaptive",
     )
     assert suite.bench_name == "scale"
 

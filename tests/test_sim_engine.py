@@ -5,12 +5,9 @@ import pytest
 from repro.sim.engine import (
     AllOf,
     AnyOf,
-    Event,
     Interrupt,
-    Process,
     SimulationError,
     Simulator,
-    Timeout,
 )
 
 
