@@ -11,6 +11,8 @@ Examples::
     repro-run scale_sweep --seeds 0..4   # 5 seeds/cell; BENCH carries mean/p95
     repro-run scale_100_wan          # the scale cell under 4-site LAN/WAN latency
     repro-run adaptive_ablation      # fixed vs adaptive maintenance at 1000 peers
+    repro-run scale_300 --engine wheel   # same cell on the timer-wheel engine
+    repro-run scale_1000 --profile   # cProfile capture -> PROFILE_scale_1000.txt
 """
 
 from __future__ import annotations
@@ -93,6 +95,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--out-dir", default=".", help="directory for BENCH_<name>.json")
     parser.add_argument("--no-json", action="store_true", help="print only, write nothing")
+    parser.add_argument(
+        "--engine",
+        choices=("heap", "wheel"),
+        default=None,
+        help="override the event engine of every cell (default: the spec's own choice)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run cells serially under cProfile; writes PROFILE_<scenario>.txt "
+        "and prints the top functions by cumulative time",
+    )
     args = parser.parse_args(argv)
 
     if args.list or args.scenario is None:
@@ -116,12 +130,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.scenario not in known_names():
         print(f"unknown scenario {args.scenario!r}; try: repro-run --list", file=sys.stderr)
         return 2
-    payload = run_named(
-        args.scenario,
-        seeds=_parse_seeds(args.seeds),
-        processes=args.processes,
-        out_dir=out_dir,
-    )
+    try:
+        payload = run_named(
+            args.scenario,
+            seeds=_parse_seeds(args.seeds),
+            processes=args.processes,
+            out_dir=out_dir,
+            engine=args.engine,
+            profile_dir=args.out_dir if args.profile else None,
+        )
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     print(json.dumps(payload["summary"], indent=2))
     for cell in payload["results"]:
         if "scenario" in cell:

@@ -1,16 +1,22 @@
-"""Event-engine microbenchmark: current engine vs. the frozen seed engine.
+"""Event-engine microbenchmark: heap and wheel engines vs. the frozen seed.
 
 The workload is the timeout-heavy RPC pattern that dominates churn
 experiments: every call arms an ``rpc_timeout`` expiry (usually wasted,
 because the reply lands within milliseconds), two latency-delayed message
 deliveries, and a generator resume per reply -- plus a slice of calls to dead
-peers that ride the timer to full expiry, as under real churn.
+peers that ride the timer to full expiry, as under real churn.  Each caller
+also maintains a ring of failure-detector *watchdog* timers, one of which is
+re-armed after every reply -- the cancel-heavy monitoring pattern churn
+detection runs.  On the seed stack (which has no cancellation) every watchdog
+rides to its full horizon, exactly as in v0.
 
 ``_Seed*`` below is a trimmed, frozen copy of the v0 engine and transport hot
 path (closure-per-action heap scheduling, no timer cancellation, no delivery
 batching).  Keeping it inline lets the speedup be re-measured on any machine
-instead of trusting a number typed into a JSON file once.  Results go to
-``BENCH_engine.json`` via ``repro-run engine_bench``.
+instead of trusting a number typed into a JSON file once.  The current stack
+is driven twice -- once per engine (``heap``, ``wheel``) -- so the report is a
+three-way referee: ``seed_engine`` vs ``heap_engine`` vs ``wheel_engine``.
+Results go to ``BENCH_engine.json`` via ``repro-run engine_bench``.
 """
 
 from __future__ import annotations
@@ -21,11 +27,19 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.network import ConstantLatency, Network, NetworkConfig, RpcError
+from repro.sim.wheel import WheelSimulator
+
+# Engines constructed directly, NOT through make_simulator(): the bench is a
+# referee between named engines, so the REPRO_ENGINE override must not
+# collapse both contestants onto one implementation.
+_ENGINES = {"heap": Simulator, "wheel": WheelSimulator}
 
 RPC_LATENCY = 0.002
 RPC_TIMEOUT = 0.5
 THINK_TIME = 0.01
 DEAD_PEER_EVERY = 20  # every 20th call targets a dead peer and rides the timer
+WATCHDOG_S = 30.0  # failure-detector horizon; re-armed (or re-layered) per reply
+WATCHDOGS_PER_CALLER = 8  # monitored-neighbor count per caller
 
 
 # --------------------------------------------------------------------------- frozen seed stack
@@ -234,12 +248,18 @@ def _drive_seed_stack(callers: int, rpcs_per_caller: int) -> Dict[str, Any]:
         _EchoPeer(network, f"peer{index}")
     plans = _routes(callers, rpcs_per_caller)
 
+    def _watchdog_fired() -> None:
+        pass
+
     def caller(source: str, destinations):
         for round_number, destination in enumerate(destinations):
             try:
                 yield network.call(source, destination, "echo", round_number)
             except RpcError:
                 pass
+            # v0 has no cancellation: the stale watchdog layer simply rides
+            # to its horizon while a fresh one is armed on top.
+            sim._schedule(WATCHDOG_S, _watchdog_fired)
             yield sim.timeout(THINK_TIME)
 
     started = time.perf_counter()
@@ -254,20 +274,35 @@ def _drive_seed_stack(callers: int, rpcs_per_caller: int) -> Dict[str, Any]:
     }
 
 
-def _drive_current_stack(callers: int, rpcs_per_caller: int) -> Dict[str, Any]:
-    sim = Simulator()
+def _drive_current_stack(
+    callers: int, rpcs_per_caller: int, engine: str = "heap"
+) -> Dict[str, Any]:
+    sim = _ENGINES[engine]()
     config = NetworkConfig(rpc_timeout=RPC_TIMEOUT, latency_model=ConstantLatency(RPC_LATENCY))
     network = Network(sim, rng=None, config=config)  # constant latency: rng unused
     for index in range(callers):
         _EchoPeer(network, f"peer{index}")
     plans = _routes(callers, rpcs_per_caller)
 
+    def _watchdog_fired(arg) -> None:
+        pass
+
     def caller(source: str, destinations):
+        dogs = [
+            sim.schedule_timer(WATCHDOG_S, _watchdog_fired, None)
+            for _ in range(WATCHDOGS_PER_CALLER)
+        ]
+        slot = 0
         for round_number, destination in enumerate(destinations):
             try:
                 yield network.call(source, destination, "echo", round_number)
             except RpcError:
                 pass
+            # Re-arm the next watchdog in the ring: the O(1)-cancel pattern
+            # the timer API exists for.
+            sim.cancel_timer(dogs[slot])
+            dogs[slot] = sim.schedule_timer(WATCHDOG_S, _watchdog_fired, None)
+            slot = (slot + 1) % WATCHDOGS_PER_CALLER
             yield sim.timeout(THINK_TIME)
 
     started = time.perf_counter()
@@ -285,18 +320,22 @@ def _drive_current_stack(callers: int, rpcs_per_caller: int) -> Dict[str, Any]:
 def run_engine_bench(
     callers: int = 1000, rpcs_per_caller: int = 40, repeats: int = 3
 ) -> Dict[str, Any]:
-    """Run both stacks ``repeats`` times; keep each stack's best wall time."""
+    """Run all three stacks ``repeats`` times; keep each stack's best wall time."""
     total_rpcs = callers * rpcs_per_caller
     seed_best: Dict[str, Any] = {}
-    current_best: Dict[str, Any] = {}
+    heap_best: Dict[str, Any] = {}
+    wheel_best: Dict[str, Any] = {}
     for _ in range(repeats):
         seed = _drive_seed_stack(callers, rpcs_per_caller)
         if not seed_best or seed["wall_clock_s"] < seed_best["wall_clock_s"]:
             seed_best = seed
-        current = _drive_current_stack(callers, rpcs_per_caller)
-        if not current_best or current["wall_clock_s"] < current_best["wall_clock_s"]:
-            current_best = current
-    for stats in (seed_best, current_best):
+        heap = _drive_current_stack(callers, rpcs_per_caller, engine="heap")
+        if not heap_best or heap["wall_clock_s"] < heap_best["wall_clock_s"]:
+            heap_best = heap
+        wheel = _drive_current_stack(callers, rpcs_per_caller, engine="wheel")
+        if not wheel_best or wheel["wall_clock_s"] < wheel_best["wall_clock_s"]:
+            wheel_best = wheel
+    for stats in (seed_best, heap_best, wheel_best):
         stats["rpcs_per_wall_s"] = round(total_rpcs / stats["wall_clock_s"])
         stats["wall_clock_s"] = round(stats["wall_clock_s"], 4)
     return {
@@ -306,11 +345,20 @@ def run_engine_bench(
             "total_rpcs": total_rpcs,
             "dead_peer_every": DEAD_PEER_EVERY,
             "rpc_timeout_s": RPC_TIMEOUT,
+            "watchdog_s": WATCHDOG_S,
+            "watchdogs_per_caller": WATCHDOGS_PER_CALLER,
             "repeats": repeats,
         },
         "seed_engine": seed_best,
-        "current_engine": current_best,
-        "speedup": round(
-            seed_best["wall_clock_s"] / current_best["wall_clock_s"], 2
+        # "current" == the default engine (heap), kept under its historical key
+        # so older tooling reading BENCH_engine.json keeps working.
+        "current_engine": heap_best,
+        "wheel_engine": wheel_best,
+        "speedup": round(seed_best["wall_clock_s"] / heap_best["wall_clock_s"], 2),
+        "wheel_speedup_vs_seed": round(
+            seed_best["wall_clock_s"] / wheel_best["wall_clock_s"], 2
+        ),
+        "wheel_speedup_vs_heap": round(
+            heap_best["wall_clock_s"] / wheel_best["wall_clock_s"], 2
         ),
     }

@@ -21,10 +21,12 @@ byte-identical to the historical single run) and matching rows are averaged.
 
 from __future__ import annotations
 
+import cProfile
 import inspect
 import json
 import os
 import platform
+import pstats
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -41,31 +43,90 @@ from repro.harness.scenarios import (
 )
 
 
-def run_cell(cell: Tuple[str, int]) -> Dict[str, Any]:
-    """Execute one ``(scenario_name, seed)`` cell.  Top-level for picklability."""
-    name, seed = cell
-    return run_spec(get_scenario(name), seed=seed).as_dict()
+def run_cell(cell: Tuple[str, int] | Tuple[str, int, Optional[str]]) -> Dict[str, Any]:
+    """Execute one ``(scenario_name, seed[, engine])`` cell.  Top-level for picklability.
+
+    The optional third element overrides the spec's event engine ("heap" or
+    "wheel"); ``None`` keeps the spec's own selection.
+    """
+    name, seed = cell[0], cell[1]
+    engine = cell[2] if len(cell) > 2 else None
+    spec = get_scenario(name)
+    if engine is not None:
+        spec = spec.with_(engine=engine)
+    return run_spec(spec, seed=seed).as_dict()
 
 
 def run_cells(
     names: Sequence[str],
     seeds: Sequence[int] = (0,),
     processes: Optional[int] = None,
+    engine: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """Run the cross product of ``names`` x ``seeds``, fanned across cores.
 
     ``processes=None`` sizes the pool to ``min(cells, cores)``; ``processes<=1``
     runs serially in-process (no pool overhead, simpler tracebacks).
+    ``engine`` overrides every cell's event engine.  ``profile_dir`` switches
+    to serial execution under cProfile and writes ``PROFILE_<scenario>.txt``
+    per scenario there (seeds of one scenario are merged into one profile).
     """
-    cells = [(name, seed) for name in names for seed in seeds]
-    for name, _seed in cells:
+    cells = [(name, seed, engine) for name in names for seed in seeds]
+    for name, _seed, _engine in cells:
         get_scenario(name)  # fail fast on unknown names, before forking
+    if profile_dir is not None:
+        return _run_cells_profiled(cells, profile_dir)
     if processes is None:
         processes = min(len(cells), os.cpu_count() or 1)
     if processes <= 1 or len(cells) <= 1:
         return [run_cell(cell) for cell in cells]
     with ProcessPoolExecutor(max_workers=processes) as pool:
         return list(pool.map(run_cell, cells))
+
+
+# How many functions the profile report keeps, sorted by cumulative time.
+_PROFILE_TOP = 20
+
+
+def _run_cells_profiled(cells: List[Tuple[str, int, Optional[str]]], out_dir: str) -> List[Dict[str, Any]]:
+    """Serial cell execution under cProfile; one report per scenario.
+
+    Multi-seed runs of the same scenario accumulate into a single profile, so
+    the report reflects the scenario's aggregate hot path.  The top functions
+    are printed to stderr as well, so a profiling run shows its evidence
+    without opening the file.
+    """
+    results: List[Dict[str, Any]] = []
+    profilers: Dict[str, List[cProfile.Profile]] = {}
+    for cell in cells:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            results.append(run_cell(cell))
+        finally:
+            profiler.disable()
+        profilers.setdefault(cell[0], []).append(profiler)
+    for scenario, runs in profilers.items():
+        path = Path(out_dir) / f"PROFILE_{scenario}.txt"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as stream:
+            stats = pstats.Stats(runs[0], stream=stream)
+            for extra in runs[1:]:
+                stats.add(extra)
+            stats.sort_stats("cumulative")
+            stream.write(
+                f"# cProfile: {scenario} ({len(runs)} cell(s)), "
+                f"top {_PROFILE_TOP} by cumulative time\n"
+            )
+            stats.print_stats(_PROFILE_TOP)
+        print(f"wrote {path}", file=sys.stderr)
+        report = pstats.Stats(runs[0], stream=sys.stderr)
+        for extra in runs[1:]:
+            report.add(extra)
+        report.sort_stats("cumulative")
+        report.print_stats(_PROFILE_TOP)
+    return results
 
 
 # --------------------------------------------------------------------------- BENCH emission
@@ -271,13 +332,18 @@ def run_named(
     seeds: Sequence[int] = (0,),
     processes: Optional[int] = None,
     out_dir: Optional[str] = ".",
+    engine: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run a registered scenario, suite or figure by name; emit its BENCH json.
 
     Scenario and suite runs execute the full ``scenarios x seeds`` cross
     product and carry per-scenario aggregates; figure runs execute once per
-    seed offset (see :func:`_figure_seed`).  Returns the emitted document
-    (also written to ``BENCH_<name>.json`` unless ``out_dir`` is ``None``).
+    seed offset (see :func:`_figure_seed`).  ``engine`` overrides every cell's
+    event engine; ``profile_dir`` captures per-scenario cProfile reports (see
+    :func:`run_cells`); neither applies to figures.  Returns the emitted
+    document (also written to ``BENCH_<name>.json`` unless ``out_dir`` is
+    ``None``).
     """
     from repro.harness.figures import ALL_FIGURES  # deferred: figures import the harness
 
@@ -285,7 +351,13 @@ def run_named(
     if name in suite_names():
         suite = get_suite(name)
         started = time.perf_counter()
-        cells = run_cells(suite.scenarios, seeds=seeds, processes=processes)
+        cells = run_cells(
+            suite.scenarios,
+            seeds=seeds,
+            processes=processes,
+            engine=engine,
+            profile_dir=profile_dir,
+        )
         elapsed = time.perf_counter() - started
         bench_name = suite.bench_name or suite.name
         payload = {
@@ -295,12 +367,16 @@ def run_named(
             "results": cells,
         }
     elif name in ALL_FIGURES:
+        if engine is not None or profile_dir is not None:
+            raise ValueError("--engine/--profile apply to scenarios and suites, not figures")
         payload = _run_figure(name, seeds, processes)
         bench_name = name
     else:
         get_scenario(name)
         started = time.perf_counter()
-        cells = run_cells([name], seeds=seeds, processes=processes)
+        cells = run_cells(
+            [name], seeds=seeds, processes=processes, engine=engine, profile_dir=profile_dir
+        )
         elapsed = time.perf_counter() - started
         bench_name = name
         payload = {
@@ -309,6 +385,8 @@ def run_named(
             "aggregates": aggregate_cells(cells),
             "results": cells,
         }
+    if engine is not None:
+        payload["engine_override"] = engine
     if out_dir is not None:
         write_bench(bench_name, payload, out_dir=out_dir)
     return payload

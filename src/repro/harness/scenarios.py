@@ -148,6 +148,11 @@ class ScenarioSpec:
     phases: Tuple[PhaseSpec, ...] = ()  # explicit lifecycle; () = legacy flat shape
     config: Mapping = field(default_factory=dict)  # IndexConfig field overrides
     base_config: Optional[IndexConfig] = None  # full config object (figures use this)
+    # Event-engine selection: "heap" (default) or "wheel".  Both engines honor
+    # the same determinism contract, so a cell's end-state metrics are
+    # engine-independent; the REPRO_ENGINE environment variable overrides this
+    # for the whole process.
+    engine: str = "heap"
 
     # -- derived -----------------------------------------------------------
     def index_config(self, seed: Optional[int] = None) -> IndexConfig:
@@ -165,6 +170,10 @@ class ScenarioSpec:
         maintenance_policy = self.maintenance.build_policy()
         if maintenance_policy is not None:
             config = config.copy(maintenance=maintenance_policy)
+        if self.engine != "heap":
+            # Only a non-default selection overrides the resolved config, so a
+            # base_config that already picked an engine keeps it.
+            config = config.copy(engine=self.engine)
         if self.protocols == "pepper":
             config = config.with_pepper_protocols()
         elif self.protocols == "naive":
@@ -278,6 +287,8 @@ class ScenarioResult:
     # RPC count per method name -- the per-method profile the maintenance
     # ablations compare (e.g. ``ring_ping`` fixed vs. adaptive cadence).
     rpc_per_method: Dict[str, int] = field(default_factory=dict)
+    # Which event engine executed the cell ("heap" or "wheel").
+    engine: str = "heap"
     queries_run: int = 0
     queries_complete: int = 0
     query_mean_elapsed_s: float = 0.0
@@ -373,6 +384,7 @@ def run_spec(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResult:
         rpc_timeouts=index.network.stats.rpc_timeouts,
         messages_sent=index.network.stats.messages_sent,
         rpc_per_method=dict(index.network.stats.per_method),
+        engine=index.sim.engine_name,
         queries_run=len(outcomes),
         queries_complete=sum(1 for outcome in outcomes if outcome.complete),
         query_mean_elapsed_s=(
@@ -613,19 +625,47 @@ register(_adaptive_variant("scale_100"))
 register(_adaptive_variant("scale_300"))
 register(_adaptive_variant("scale_1000"))
 register(_adaptive_variant("scale_5000"))
+
+# ---- timer-wheel engine cells ----------------------------------------------
+# The same deployments on the wheel engine.  End-state metrics are identical
+# to the heap cells by the engine determinism contract (the parity CI job and
+# ``tests/test_engine_parity.py`` enforce it); only the wall-clock and
+# events-per-second columns may differ, which is exactly what the BENCH
+# envelope is meant to show.
+def _wheel_variant(base_name: str) -> ScenarioSpec:
+    base = get_scenario(base_name)
+    return base.with_(
+        name=f"{base_name}_wheel",
+        description=f"{base.description}, timer-wheel engine",
+        engine="wheel",
+    )
+
+
+register(_wheel_variant("scale_300"))
+register(_wheel_variant("scale_1000"))
+
 register_suite(
     ScenarioSuite(
         name="scale_sweep",
         scenarios=(
             "scale_100",
+            "scale_100_adaptive",
             "scale_300",
+            "scale_300_adaptive",
             "scale_1000",
-            "scale_3000",
-            "scale_5000",
-            "scale_5000_adaptive",
+            "scale_1000_adaptive",
+            "scale_1000_wheel",
         ),
-        description="wall-clock and event-throughput across 100..5000 peers",
+        description="wall-clock and event-throughput across 100..1000 peers, fixed+adaptive, plus the wheel engine at 1000",
         bench_name="scale",
+    )
+)
+register_suite(
+    ScenarioSuite(
+        name="scale_sweep_deep",
+        scenarios=("scale_3000", "scale_5000", "scale_5000_adaptive"),
+        description="the 3000/5000-peer cells (hours-scale; the weekly deep bench)",
+        bench_name="scale_deep",
     )
 )
 register_suite(

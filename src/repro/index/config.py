@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.maintenance.policy import FIXED_MAINTENANCE, MaintenancePolicy
+from repro.sim.engine import ENGINE_NAMES
 from repro.sim.network import NetworkConfig
 
 
@@ -62,6 +63,11 @@ class IndexConfig:
     # --- Simulation substrate ---------------------------------------------------
     network: NetworkConfig = field(default_factory=NetworkConfig)
     seed: int = 0
+    # Event-engine selection: "heap" (binary heap, the default) or "wheel"
+    # (hierarchical timer wheel with record recycling).  Both honor the same
+    # determinism contract; the REPRO_ENGINE environment variable overrides
+    # this field for every deployment in the process (the CI parity knob).
+    engine: str = "heap"
 
     # --- derived / helpers -------------------------------------------------------
     @property
@@ -103,6 +109,10 @@ class IndexConfig:
             raise ValueError("key_space must be positive")
         if self.router not in ("hierarchical", "linear"):
             raise ValueError(f"unknown router {self.router!r}")
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; known: {', '.join(ENGINE_NAMES)}"
+            )
         if self.maintenance is not None:
             self.maintenance.validate()
         self.network.validate()

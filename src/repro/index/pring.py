@@ -23,7 +23,7 @@ from repro.harness.metrics import Metrics
 from repro.index.config import IndexConfig, default_config
 from repro.index.membership import MembershipIndex
 from repro.index.peer import IndexPeer
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import SimulationError, make_simulator
 from repro.sim.network import Network, RpcError
 from repro.sim.randomness import RngStreams
 
@@ -34,7 +34,7 @@ class PRingIndex:
     def __init__(self, config: Optional[IndexConfig] = None):
         self.config = config or default_config()
         self.config.validate()
-        self.sim = Simulator()
+        self.sim = make_simulator(self.config.engine)
         self.rngs = RngStreams(self.config.seed)
         self.metrics = Metrics()
         # The network observes intra- vs cross-site latency into the shared

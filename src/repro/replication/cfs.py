@@ -136,13 +136,14 @@ class ReplicationManager(RingListener):
                 targets = self.ring.joined_successors(self.config.replication_factor)
                 if self._should_push(targets):
                     payload = {"items": items_to_wire(items), "owner": self.address}
-                    # Fan out concurrently: the pushes are independent, and a
-                    # failed receiver simply times out unobserved (exactly what
-                    # the serial loop did with its error-and-continue), so one
-                    # refresh round costs one send instant instead of k
-                    # round-trips.
+                    # Fire-and-forget fan-out: the pushes are independent and
+                    # nobody reads the acknowledgements, so each costs one
+                    # one-way message -- no reply event, no expiry timer, no
+                    # reply traffic.  A failed receiver swallows the push
+                    # silently, exactly as it did when the discarded reply
+                    # event timed out unobserved.
                     for target in targets:
-                        self.node.call(target, "rep_store_replicas", payload)
+                        self.node.cast(target, "rep_store_replicas", payload)
         # Promote any replica we hold whose key now falls in our own range --
         # this both revives items after a predecessor failure and self-heals if
         # a range-change notification raced with a refresh.
@@ -246,8 +247,10 @@ class ReplicationManager(RingListener):
         self.replicas.remove(skv)
         if self.config.replication_factor <= 0:
             return
+        # One-way notifications: the deletion either lands or the stale
+        # replica ages out of the promotable window on its own.
         for target in self.ring.joined_successors(self.config.replication_factor):
-            self.node.call(target, "rep_remove_replica", {"skv": skv})
+            self.node.cast(target, "rep_remove_replica", {"skv": skv})
 
     # ------------------------------------------------------------------ RPC handlers
     def _handle_store_replicas(self, payload, request):

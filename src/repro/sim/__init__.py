@@ -17,7 +17,10 @@ never the global ``random`` module.
 
 The public surface is:
 
-* :class:`~repro.sim.engine.Simulator` -- the event loop.
+* :class:`~repro.sim.engine.Simulator` -- the event loop (binary-heap engine);
+  :class:`~repro.sim.wheel.WheelSimulator` is the drop-in timer-wheel engine
+  and :func:`~repro.sim.engine.make_simulator` selects between them by name
+  (overridable via the ``REPRO_ENGINE`` environment variable).
 * :class:`~repro.sim.engine.Event`, :class:`~repro.sim.engine.Timeout`,
   :class:`~repro.sim.engine.Process` -- the primitives protocol code yields on.
 * :class:`~repro.sim.locks.RWLock` -- simulated read/write lock.
@@ -27,6 +30,8 @@ The public surface is:
 """
 
 from repro.sim.engine import (
+    ENGINE_ENV_VAR,
+    ENGINE_NAMES,
     AllOf,
     AnyOf,
     Event,
@@ -36,6 +41,7 @@ from repro.sim.engine import (
     SimulationError,
     Simulator,
     Timeout,
+    make_simulator,
 )
 from repro.sim.locks import RWLock
 from repro.sim.network import (
@@ -49,9 +55,13 @@ from repro.sim.network import (
 from repro.sim.node import Node
 from repro.sim.randomness import RngStreams
 
+from repro.sim.wheel import WheelSimulator
+
 __all__ = [
     "AllOf",
     "AnyOf",
+    "ENGINE_ENV_VAR",
+    "ENGINE_NAMES",
     "Event",
     "Interrupt",
     "Network",
@@ -68,4 +78,6 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Timeout",
+    "WheelSimulator",
+    "make_simulator",
 ]

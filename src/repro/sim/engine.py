@@ -34,12 +34,15 @@ Design notes
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "ENGINE_ENV_VAR",
+    "ENGINE_NAMES",
     "Event",
     "Interrupt",
     "Process",
@@ -47,6 +50,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Timeout",
+    "make_simulator",
 ]
 
 
@@ -445,15 +449,24 @@ class Simulator:
         """Schedule a no-argument thunk (compatibility shim used by tests)."""
         return self.schedule(delay, _invoke, action)
 
-    def cancel(self, entry: Optional[list]) -> None:
-        """Tombstone a scheduled entry; the run loop skips it for free."""
+    def cancel(self, entry: Optional[list]) -> Any:
+        """Tombstone a scheduled entry; the run loop skips it for free.
+
+        Returns the entry's ``arg`` (or ``None`` if the entry already fired or
+        was cancelled) so callers that recycle their argument records can
+        reclaim them.  Cancelling a handle *after* its entry fired is a no-op
+        here; see :class:`repro.sim.wheel.WheelSimulator` for why the shared
+        engine contract nevertheless forbids it.
+        """
         if entry is None or entry[2] is None:
-            return
+            return None
+        arg = entry[3]
         entry[2] = None
         entry[3] = None
         self._cancelled += 1
         if self._cancelled > self._COMPACT_MIN and self._cancelled * 2 > len(self._queue):
             self._compact()
+        return arg
 
     def _compact(self) -> None:
         # In place: the run loop holds a local alias of the queue list, so the
@@ -462,6 +475,15 @@ class Simulator:
         self._queue[:] = live
         heapq.heapify(self._queue)
         self._cancelled = 0
+
+    # Engine-agnostic timer API used by the network's RPC fast path.  On this
+    # engine a timer is just a scheduled entry; the wheel engine overrides the
+    # pair with O(1) wheel placement and tombstones that are filtered out
+    # wholesale instead of sifted through a heap.
+    # Contract for both engines: a handle is valid until its timer fires or is
+    # cancelled, whichever comes first -- never cancel after the fire.
+    schedule_timer = schedule
+    cancel_timer = cancel
 
     # -- execution ---------------------------------------------------------
     def run(self, until: Optional[float] = None) -> float:
@@ -498,8 +520,13 @@ class Simulator:
                     break
                 pop(queue)
                 self._now = time
+                arg = entry[3]
+                # Mark the entry dead so a (contract-violating) late cancel
+                # is a visible no-op returning None, as on the wheel engine.
+                entry[2] = None
+                entry[3] = None
                 processed += 1
-                func(entry[3])
+                func(arg)
             if exhausted and until is not None and until > self._now:
                 self._now = until
         finally:
@@ -541,12 +568,19 @@ class Simulator:
                     break
                 pop(queue)
                 self._now = time
+                arg = entry[3]
+                entry[2] = None
+                entry[3] = None
                 processed += 1
-                func(entry[3])
+                func(arg)
         finally:
             self._running = False
             self.events_processed += processed
         return event._triggered
+
+    # -- identity -----------------------------------------------------------
+    #: Registry name of this engine implementation (see :func:`make_simulator`).
+    engine_name = "heap"
 
     def run_process(self, generator: ProcessGenerator, timeout: float = 1e9) -> Any:
         """Convenience: run ``generator`` to completion and return its value.
@@ -563,3 +597,38 @@ class Simulator:
         if not proc.ok:
             raise proc.value
         return proc.value
+
+
+# --------------------------------------------------------------------------- engine selection
+#: Environment knob forcing an engine for every simulator built through
+#: :func:`make_simulator` (e.g. ``REPRO_ENGINE=wheel`` runs the tier-1 suite
+#: on the wheel engine in CI without touching any scenario spec).
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+#: The selectable engine implementations.  ``heap`` is the default binary-heap
+#: engine above; ``wheel`` is the hierarchical timer wheel with record
+#: recycling (:mod:`repro.sim.wheel`).  Both honor the same contract:
+#: ``(time, seq)`` tie-break on the time-keyed queue, FIFO same-instant ready
+#: queue drained first, and deterministic execution for a given seed.
+ENGINE_NAMES = ("heap", "wheel")
+
+
+def make_simulator(engine: str = "heap") -> Simulator:
+    """Build the engine named ``engine`` (``heap`` or ``wheel``).
+
+    The :data:`ENGINE_ENV_VAR` environment variable, when set, overrides the
+    argument -- that is the "force the wheel engine" knob the engine-parity CI
+    job uses.  Unknown names raise :class:`SimulationError`.
+    """
+    forced = os.environ.get(ENGINE_ENV_VAR)
+    if forced:
+        engine = forced
+    if engine == "heap":
+        return Simulator()
+    if engine == "wheel":
+        from repro.sim.wheel import WheelSimulator  # deferred: wheel imports us
+
+        return WheelSimulator()
+    raise SimulationError(
+        f"unknown simulation engine {engine!r}; known: {', '.join(ENGINE_NAMES)}"
+    )

@@ -25,21 +25,29 @@ samples exist), which the RTT-scaled cadence controllers in
 
 Scalability notes
 -----------------
-* The RPC expiry timer is *cancelled* (lazily, via the engine's tombstoning
-  heap) as soon as the reply is delivered.  Under churn-free operation nearly
-  every call completes in milliseconds while its timer spans the full
-  ``rpc_timeout``; without cancellation those dead timers dominate the event
-  queue of large deployments.
-* Messages due at exactly the same instant are *batched*: one heap entry
+* The RPC expiry timer goes through the engine-agnostic
+  ``schedule_timer``/``cancel_timer`` API and is cancelled as soon as the
+  reply is delivered.  Under churn-free operation nearly every call completes
+  in milliseconds while its timer spans the full ``rpc_timeout``; without
+  cancellation those dead timers dominate the event queue of large
+  deployments.  On the heap engine a cancel tombstones the entry; on the
+  wheel engine it removes and recycles the record outright.
+* The per-RPC bookkeeping records -- expiry arguments, delivery/reply
+  transfer records, reply continuations and :class:`RpcRequest` objects --
+  are recycled through freelists, so steady-state RPC traffic allocates only
+  the caller-visible reply :class:`Event`.
+* Messages due at exactly the same instant are *batched*: one engine entry
   drains the whole batch.  With a constant-latency model every message sent
   within one action shares a delivery slot, so a replication fan-out to ``k``
-  successors costs one heap operation instead of ``k``.
+  successors costs one queue operation instead of ``k``.
+* :meth:`Network.cast` is a fire-and-forget fast path for messages nobody
+  waits on (replication refreshes, delete propagation): no reply event, no
+  expiry timer, no reply message.
 """
 
 from __future__ import annotations
 
 import zlib
-import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
@@ -240,13 +248,43 @@ class NetworkConfig:
 
 @dataclass(slots=True)
 class RpcRequest:
-    """A request in flight.  Exposed to handlers for tracing/diagnostics."""
+    """A request in flight.  Exposed to handlers for tracing/diagnostics.
+
+    Request records are recycled once the reply has been transmitted (or the
+    destination turned out to be dead), so handlers must not retain one past
+    their own execution.
+    """
 
     source: str
     destination: str
     method: str
     payload: Any
     request_id: int
+
+
+class _ReplyHandle:
+    """The reply continuation handed to :meth:`Node._handle_rpc`.
+
+    Replaces the per-RPC closure the network used to allocate; instances are
+    recycled through ``Network._reply_free`` after their single invocation.
+    A handle abandoned without being called (its node died mid-handler) is
+    simply dropped to the garbage collector.
+    """
+
+    __slots__ = ("net", "request", "result", "timer")
+
+    def __init__(self, net: "Network"):
+        self.net = net
+        self.request: Optional[RpcRequest] = None
+        self.result: Optional[Event] = None
+        self.timer: Optional[list] = None
+
+    def __call__(self, value: Any, error: Optional[BaseException]) -> None:
+        net = self.net
+        request, result, timer = self.request, self.result, self.timer
+        self.request = self.result = self.timer = None
+        net._reply_free.append(self)
+        net._transmit_reply(request, result, timer, value, error)
 
 
 @dataclass
@@ -312,6 +350,15 @@ class Network:
         self._next_request_id = 0
         # Pending same-instant delivery batches, keyed on absolute delivery time.
         self._batches: Dict[float, List[Tuple[Callable[[Any], None], Any]]] = {}
+        # Engine-agnostic timer API, bound once: it sits on the per-RPC path.
+        self._schedule_timer = sim.schedule_timer
+        self._cancel_timer = sim.cancel_timer
+        # Freelists recycling the per-RPC bookkeeping records, so steady-state
+        # traffic allocates only the caller-visible reply Event.
+        self._expiry_free: List[list] = []  # [result, method, destination]
+        self._transfer_free: List[list] = []  # 4-slot delivery/reply records
+        self._reply_free: List[_ReplyHandle] = []
+        self._request_free: List[RpcRequest] = []
 
     # -- membership --------------------------------------------------------
     def register(self, node: "Node") -> None:
@@ -430,43 +477,119 @@ class Network:
             per_site = self.stats.per_site_rpcs
             per_site[key] = per_site.get(key, 0) + 1
         self._next_request_id += 1
-        request = RpcRequest(
-            source=source,
-            destination=destination,
-            method=method,
-            payload=payload,
-            request_id=self._next_request_id,
-        )
-        sim = self.sim
-        sim._sequence += 1  # inlined sim.schedule: one timer per RPC
-        timer = [sim._now + timeout, sim._sequence, self._expire, (result, method, destination)]
-        heapq.heappush(sim._queue, timer)
+        free = self._expiry_free
+        if free:
+            pending = free.pop()
+            pending[0] = result
+            pending[1] = method
+            pending[2] = destination
+        else:
+            pending = [result, method, destination]
+        timer = self._schedule_timer(timeout, self._expire, pending)
         self.stats.messages_sent += 1
         if self._dropped():
             self.stats.messages_dropped += 1
         else:
+            request = self._make_request(source, destination, method, payload)
+            transfer = self._make_transfer(request, result, timer, None)
             self._schedule_delivery(
-                self._latency(source, destination), self._deliver_request, (request, result, timer)
+                self._latency(source, destination), self._deliver_request, transfer
             )
         return result
 
+    def cast(self, source: str, destination: str, method: str, payload: Any = None) -> None:
+        """Send a one-way message: no reply event, no expiry timer, no reply.
+
+        The fire-and-forget fast path for traffic nobody waits on (replication
+        refresh fan-outs, delete propagation).  The message still pays latency
+        and loss like any other, still counts in the per-method call stats,
+        and a dead destination swallows it silently -- exactly what a caller
+        that discards the reply event of :meth:`call` observed, minus the
+        event, timer and reply-message overhead.
+        """
+        self.stats.record_call(method)
+        site_of = self._site_of
+        if site_of is not None:
+            key = f"site{site_of(source)}"
+            per_site = self.stats.per_site_rpcs
+            per_site[key] = per_site.get(key, 0) + 1
+        self._next_request_id += 1
+        self.stats.messages_sent += 1
+        if self._dropped():
+            self.stats.messages_dropped += 1
+            return
+        request = self._make_request(source, destination, method, payload)
+        transfer = self._make_transfer(request, None, None, None)
+        self._schedule_delivery(
+            self._latency(source, destination), self._deliver_cast, transfer
+        )
+
     # -- internals ----------------------------------------------------------
-    def _expire(self, pending: Tuple[Event, str, str]) -> None:
+    def _make_request(
+        self, source: str, destination: str, method: str, payload: Any
+    ) -> RpcRequest:
+        free = self._request_free
+        if free:
+            request = free.pop()
+            request.source = source
+            request.destination = destination
+            request.method = method
+            request.payload = payload
+            request.request_id = self._next_request_id
+            return request
+        return RpcRequest(source, destination, method, payload, self._next_request_id)
+
+    def _recycle_request(self, request: RpcRequest) -> None:
+        request.payload = None
+        self._request_free.append(request)
+
+    def _make_transfer(self, a: Any, b: Any, c: Any, d: Any) -> list:
+        free = self._transfer_free
+        if free:
+            transfer = free.pop()
+            transfer[0] = a
+            transfer[1] = b
+            transfer[2] = c
+            transfer[3] = d
+            return transfer
+        return [a, b, c, d]
+
+    def _expire(self, pending: list) -> None:
         result, method, destination = pending
+        pending[0] = None
+        pending[2] = None
+        self._expiry_free.append(pending)
         if not result.triggered:
             self.stats.rpc_timeouts += 1
             result.fail(RpcTimeout(f"{method} -> {destination} timed out"))
 
-    def _deliver_request(self, transfer: Tuple[RpcRequest, Event, list]) -> None:
-        request, result, timer = transfer
+    def _deliver_request(self, transfer: list) -> None:
+        request, result, timer = transfer[0], transfer[1], transfer[2]
+        transfer[0] = transfer[1] = transfer[2] = None
+        self._transfer_free.append(transfer)
         node = self._nodes.get(request.destination)
         if node is None or not node.alive:
             # A dead or missing peer never answers; the caller times out.
+            self._recycle_request(request)
             return
-        node._handle_rpc(
-            request,
-            lambda value, error: self._transmit_reply(request, result, timer, value, error),
-        )
+        free = self._reply_free
+        reply = free.pop() if free else _ReplyHandle(self)
+        reply.request = request
+        reply.result = result
+        reply.timer = timer
+        node._handle_rpc(request, reply)
+
+    def _deliver_cast(self, transfer: list) -> None:
+        request = transfer[0]
+        transfer[0] = None
+        self._transfer_free.append(transfer)
+        node = self._nodes.get(request.destination)
+        if node is None or not node.alive:
+            self._recycle_request(request)
+            return
+        if node._handle_cast(request):
+            # Handled synchronously: nothing can still reference the record.
+            self._recycle_request(request)
 
     def _transmit_reply(
         self,
@@ -479,20 +602,29 @@ class Network:
         self.stats.messages_sent += 1
         if self._dropped():
             self.stats.messages_dropped += 1
+            self._recycle_request(request)
             return
+        latency = self._latency(request.destination, request.source)
+        self._recycle_request(request)
         self._schedule_delivery(
-            self._latency(request.destination, request.source),
-            self._deliver_reply,
-            (result, timer, value, error),
+            latency, self._deliver_reply, self._make_transfer(result, timer, value, error)
         )
 
-    def _deliver_reply(self, transfer: Tuple[Event, list, Any, Optional[BaseException]]) -> None:
+    def _deliver_reply(self, transfer: list) -> None:
         result, timer, value, error = transfer
+        transfer[0] = transfer[1] = transfer[2] = transfer[3] = None
+        self._transfer_free.append(transfer)
         if result.triggered:
+            # The expiry timer won the race; it already fired (and the engine
+            # may have recycled its record), so the handle must not be
+            # cancelled -- see the engine contract.
             return
-        # The reply made it: the pending expiry timer is dead weight on the
-        # heap from here on -- tombstone it.
-        self.sim.cancel(timer)
+        # The reply made it first: reclaim the timer and its expiry record.
+        pending = self._cancel_timer(timer)
+        if pending is not None:
+            pending[0] = None
+            pending[2] = None
+            self._expiry_free.append(pending)
         if error is None:
             result.succeed(value)
         else:

@@ -122,6 +122,36 @@ class Node:
         """Issue an RPC to ``destination``; yield the returned event."""
         return self.network.call(self.address, destination, method, payload, timeout)
 
+    def cast(self, destination: str, method: str, payload: Any = None) -> None:
+        """Send a one-way message to ``destination`` (no reply event, no timer).
+
+        Use for fan-outs whose replies nobody reads; see
+        :meth:`repro.sim.network.Network.cast`.
+        """
+        self.network.cast(self.address, destination, method, payload)
+
+    def _handle_cast(self, request: RpcRequest) -> bool:
+        """Dispatch a one-way message; the handler's result is discarded.
+
+        Returns whether handling completed synchronously, in which case the
+        network may recycle the request record immediately.  Handler errors
+        are swallowed: with :meth:`call` they would travel back to the caller
+        as an :class:`RpcRemoteError`, and a cast has no caller to tell.
+        """
+        handler = self._handlers.get(request.method)
+        if handler is None:
+            handler = getattr(self, f"rpc_{request.method}", None)
+        if handler is None:
+            return True
+        try:
+            outcome = handler(request.payload, request)
+        except Exception:
+            return True
+        if not inspect.isgenerator(outcome):
+            return True
+        self.spawn(outcome, name=f"cast:{request.method}")
+        return False
+
     def _handle_rpc(
         self,
         request: RpcRequest,

@@ -1,0 +1,530 @@
+"""Hierarchical timer-wheel event engine with record recycling.
+
+:class:`WheelSimulator` is a drop-in replacement for the binary-heap
+:class:`~repro.sim.engine.Simulator` that targets the measured hot path of
+churn experiments: the time-keyed queue is dominated by ``rpc_timeout``
+timers that are armed on every call and cancelled milliseconds later when the
+reply lands.  On the heap engine each of those costs an O(log n) push, a
+tombstone, an O(log n) tombstone pop and a share of the periodic compaction
+passes; here it costs an O(1) bucket append and an O(1) tombstone that never
+takes part in any ordering work again (dead records are dropped by C-level
+filters at harvest or sweep time, not sifted through a heap), and the
+``[time, seq, func, arg]`` record itself is recycled through a freelist, so
+the steady-state allocation rate of the timer path is ~zero.
+
+Design
+------
+* Time is quantised into *ticks* of ``2**-8`` seconds (~3.9 ms).  The
+  multiplication by a power of two is exact in binary floating point, which
+  keeps the tick of a given timestamp stable no matter when it is computed.
+  Resolution does not affect ordering (a slot's entries are sorted by
+  ``(time, seq)`` at harvest); it trades harvest frequency against near-list
+  length.
+* Four wheel levels cover [now, now + ~73 simulated hours): level 0 has 256
+  one-tick slots, levels 1..3 have 64 slots each spanning 256x the level
+  below.  A timer lands in the finest level whose slot distance from the
+  cursor fits (one compare per level); when the cursor reaches a coarse slot
+  its entries *cascade* down.  The paper's workloads sit entirely inside
+  level 1: RPC latencies and the 0.5 s RPC timeout are level-0 (one slot
+  harvest, no cascade), maintenance periods (4-16 s) are level-1.
+* Timers beyond the top level's horizon go to a small *overflow heap*; it is
+  empty in every workload this repository runs, but keeps ``schedule``
+  correct for arbitrary delays.
+* Due entries are harvested a slot at a time into ``_near`` -- a list kept
+  sorted by ``(time, seq)`` (the records compare lexicographically; sequence
+  numbers are unique so comparison never reaches the callback).  The run
+  loop consumes ``_near`` through an index cursor, so a harvest costs one
+  C-level ``sort`` and draining costs no pops.
+* Each level keeps an *occupancy bitmask* (one bit per slot), so advancing to
+  the next pending timer is a couple of shift/bit-length operations instead
+  of a slot scan -- the wheel is fast even when sparse.
+
+Determinism contract (shared with the heap engine, pinned by
+``tests/test_engine_parity.py``):
+
+* timers fire in ``(time, seq)`` order -- scheduling order breaks ties;
+* same-instant work (event callbacks, process resumes) runs through the FIFO
+  ready queue inherited from the base engine, drained before the time-keyed
+  queue is touched;
+* ``events_processed`` counts executed actions identically.
+
+Handle contract
+---------------
+``schedule``/``schedule_timer`` return the entry record; it may be passed to
+``cancel``/``cancel_timer`` *until the timer fires or is cancelled*, after
+which the record returns to the freelist and may be re-armed for an unrelated
+timer.  Cancelling a stale handle whose record was already recycled would
+therefore cancel the wrong timer.  The one hot-path caller that keeps handles
+(:class:`~repro.sim.network.Network`) is safe by construction: it cancels an
+RPC expiry only after checking that the reply event has *not* triggered,
+which implies the timer has not fired.  (On the heap engine a stale cancel is
+a silent no-op, so code honoring this contract runs identically on both.)
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import (
+    Event,
+    SimulationError,
+    Simulator,
+    Timeout,
+    _fire_timeout,
+)
+
+__all__ = ["WheelSimulator"]
+
+# One tick is 2**-8 s (~3.9 ms).  Powers of two make tick computation an
+# exact float operation (mantissa untouched), so `int(time * _INV_RESOLUTION)`
+# is a stable floor for any representable time.  The resolution only controls
+# *batching* -- entries sharing a slot are sorted by (time, seq) at harvest --
+# so it is a pure throughput knob: coarse enough that a slot harvest amortizes
+# over many entries (and that the 0.5 s RPC timeout lands in level 0, no
+# cascade), fine enough that the near list stays short.
+_TICK_BITS = 8
+_INV_RESOLUTION = float(1 << _TICK_BITS)  # ticks per second
+_RESOLUTION = 1.0 / _INV_RESOLUTION  # seconds per tick
+
+# Level geometry: (shift, mask) per level; level k slots span 2**shift ticks.
+# Level 0: 256 slots x 1 tick      -> covers    256 ticks (~1 s)
+# Level 1:  64 slots x 256 ticks   -> covers  2**14 ticks (~64 s)
+# Level 2:  64 slots x 2**14 ticks -> covers  2**20 ticks (~68 min)
+# Level 3:  64 slots x 2**20 ticks -> covers  2**26 ticks (~73 h)
+#
+# An entry is filed into the finest level where its *slot number* is within
+# one revolution of the cursor's (1..mask slots ahead).  Slot distance -- not
+# raw tick delta -- is the safe criterion: an entry almost a full span ahead
+# can land `mask + 1` slots onward, which the slot index wraps onto the
+# cursor's own slot, and a cascade would then re-file it into the slot being
+# drained, forever.
+_L0_SLOTS = 256
+_LN_SLOTS = 64
+_LEVEL_SHIFTS = (0, 8, 14, 20)
+_LEVEL_MASKS = (_L0_SLOTS - 1, _LN_SLOTS - 1, _LN_SLOTS - 1, _LN_SLOTS - 1)
+_TOP_SHIFT = _LEVEL_SHIFTS[-1]
+_TOP_MASK = _LEVEL_MASKS[-1]
+
+
+class _WheelTimeout(Timeout):
+    """A :class:`Timeout` scheduled on the wheel instead of the heap.
+
+    The base class inlines a heap push into ``Simulator._queue``; this variant
+    routes through the wheel's recycled-record scheduler instead.  Everything
+    observable (``delay``, payload, trigger semantics) is identical.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim: "WheelSimulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        Event.__init__(self, sim)
+        self.delay = delay
+        self._pending = value
+        sim.schedule(delay, _fire_timeout, self)
+
+
+class WheelSimulator(Simulator):
+    """The timer-wheel engine.  See the module docstring for the design."""
+
+    engine_name = "wheel"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # The base class's `_queue` heap stays permanently empty; everything
+        # time-keyed goes through the wheel.  The ready deque, sequence
+        # counter and `events_processed` are inherited unchanged.
+        self._tick = 0  # absolute tick of the last harvested slot
+        self._levels = [
+            [[] for _ in range(mask + 1)] for mask in _LEVEL_MASKS
+        ]  # buckets: lists of entry records
+        self._occupancy = [0, 0, 0, 0]  # one bitmask per level
+        self._overflow: list = []  # heap of records beyond the horizon
+        self._near: list = []  # records due at/before the cursor, (time, seq)-sorted
+        self._near_pos = 0  # consumed prefix of _near
+        self._free: list = []  # record freelist (slab recycling)
+        # `self._cancelled` (inherited) counts resident tombstones; when they
+        # outnumber live records a sweep recycles them (see `_sweep`).
+
+    # -- factories ----------------------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a timeout firing ``delay`` seconds from now (wheel-backed)."""
+        return _WheelTimeout(self, delay, value)
+
+    # -- scheduling ---------------------------------------------------------
+    def _place(self, record: list, time: float) -> None:
+        """File ``record`` into the wheel / near list / overflow heap."""
+        tick = int(time * _INV_RESOLUTION)
+        delta = tick - self._tick
+        if 0 < delta <= 255:
+            index = tick & 255
+            self._levels[0][index].append(record)
+            self._occupancy[0] |= 1 << index
+        elif delta <= 0:
+            # Due in the already-harvested present: merge into the sorted
+            # near list.
+            insort(self._near, record, lo=self._near_pos)
+        else:
+            self._place_far(record, tick)
+
+    def _place_far(self, record: list, tick: int) -> None:
+        """File a beyond-level-0 ``record`` (slow path of :meth:`_place`)."""
+        cursor = self._tick
+        if (tick >> 8) - (cursor >> 8) <= _LN_SLOTS - 1:
+            level = 1
+        elif (tick >> 14) - (cursor >> 14) <= _LN_SLOTS - 1:
+            level = 2
+        elif (tick >> _TOP_SHIFT) - (cursor >> _TOP_SHIFT) <= _TOP_MASK:
+            level = 3
+        else:
+            heapq.heappush(self._overflow, record)
+            return
+        index = (tick >> _LEVEL_SHIFTS[level]) & _LEVEL_MASKS[level]
+        self._levels[level][index].append(record)
+        self._occupancy[level] |= 1 << index
+
+    def schedule(self, delay: float, func: Callable[[Any], None], arg: Any = None) -> list:
+        """Schedule ``func(arg)`` after ``delay`` seconds; returns a handle.
+
+        The handle may be passed to :meth:`cancel` *before* the entry fires
+        (see the module docstring's handle contract).  The level-0 placement
+        (nearly every timer the workloads arm) is inlined here -- this is the
+        single hottest entry point of the engine.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        time = self._now + delay
+        self._sequence = sequence = self._sequence + 1
+        free = self._free
+        if free:
+            record = free.pop()
+            record[0] = time
+            record[1] = sequence
+            record[2] = func
+            record[3] = arg
+        else:
+            record = [time, sequence, func, arg]
+        tick = int(time * _INV_RESOLUTION)
+        delta = tick - self._tick
+        if 0 < delta <= 255:
+            index = tick & 255
+            self._levels[0][index].append(record)
+            self._occupancy[0] |= 1 << index
+        elif delta <= 0:
+            insort(self._near, record, lo=self._near_pos)
+        else:
+            self._place_far(record, tick)
+        return record
+
+    def schedule_at(self, time: float, func: Callable[[Any], None], arg: Any = None) -> list:
+        """Schedule ``func(arg)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(f"cannot schedule in the past (time={time})")
+        self._sequence += 1
+        free = self._free
+        if free:
+            record = free.pop()
+            record[0] = time
+            record[1] = self._sequence
+            record[2] = func
+            record[3] = arg
+        else:
+            record = [time, self._sequence, func, arg]
+        self._place(record, time)
+        return record
+
+    # The engine-agnostic timer API is the same entry points on this engine.
+    schedule_timer = schedule
+
+    def cancel(self, record: Optional[list]) -> Any:
+        """Cancel a scheduled entry; returns its ``arg`` (or ``None`` if dead).
+
+        O(1): the record is tombstoned in place (``func = None``) wherever it
+        sits -- wheel bucket, near list or overflow heap -- and recycled when
+        a harvest, the run loop or a sweep next touches it.  Unlike the heap
+        engine's tombstones, a dead wheel record never participates in any
+        ordering work again: it is dropped by a C-level filter, not sifted.
+        """
+        if record is None or record[2] is None:
+            return None
+        arg = record[3]
+        record[2] = None
+        record[3] = None
+        self._cancelled = dead = self._cancelled + 1
+        if dead > 2048 and not (dead & 1023) and dead * 2 > self._resident():
+            self._sweep()
+        return arg
+
+    cancel_timer = cancel
+
+    def _resident(self) -> int:
+        """Total records currently filed anywhere (live + tombstoned)."""
+        total = len(self._near) - self._near_pos + len(self._overflow)
+        for level in self._levels:
+            for bucket in level:
+                total += len(bucket)
+        return total
+
+    def _sweep(self) -> None:
+        """Recycle resident tombstones (the wheel's analog of heap compaction).
+
+        Memory bound, not a correctness requirement: cancelled records are
+        otherwise reclaimed only when their slot harvests, which for long
+        watchdog-style timers re-armed at a high rate would accumulate without
+        bound.  Occupancy bits of emptied slots are deliberately left stale --
+        the harvest loop already tolerates them (cursor-monotone guard).
+        """
+        free = self._free
+        for level in self._levels:
+            for bucket in level:
+                if bucket:
+                    live = [r for r in bucket if r[2] is not None]
+                    if len(live) != len(bucket):
+                        for r in bucket:
+                            if r[2] is None:
+                                r[3] = None
+                                free.append(r)
+                        bucket[:] = live
+        near = self._near
+        position = self._near_pos
+        if position < len(near):
+            live = [r for r in near[position:] if r[2] is not None]
+            if len(live) != len(near) - position:
+                for r in near[position:]:
+                    if r[2] is None:
+                        r[3] = None
+                        free.append(r)
+                near[position:] = live
+        overflow = self._overflow
+        if overflow:
+            live = [r for r in overflow if r[2] is not None]
+            if len(live) != len(overflow):
+                for r in overflow:
+                    if r[2] is None:
+                        r[3] = None
+                        free.append(r)
+                overflow[:] = live
+                heapq.heapify(overflow)
+        self._cancelled = 0
+
+    # -- wheel advancement ---------------------------------------------------
+    def _next_slot_tick(self, level: int) -> Optional[int]:
+        """Absolute tick of this level's next occupied slot, or ``None``."""
+        occupancy = self._occupancy[level]
+        if not occupancy:
+            return None
+        shift = _LEVEL_SHIFTS[level]
+        mask = _LEVEL_MASKS[level]
+        base = self._tick >> shift
+        position = base & mask
+        ahead = occupancy >> position
+        if ahead:
+            offset = (ahead & -ahead).bit_length() - 1
+            return (base + offset) << shift
+        # All occupied slots have wrapped into the next revolution.
+        lowest = (occupancy & -occupancy).bit_length() - 1
+        return (base - position + mask + 1 + lowest) << shift
+
+    def _harvest_next(self) -> bool:
+        """Advance the cursor to the next pending timers, filling ``_near``.
+
+        Returns ``False`` when no timer is pending anywhere.  On return the
+        near list holds *every* record due at the earliest pending instant's
+        slot (later insorts may still land between them; the run loop reads
+        the near list through its index so that stays correct).
+        """
+        near = self._near
+        levels = self._levels
+        occupancy = self._occupancy
+        overflow = self._overflow
+        while True:
+            best_tick: Optional[int] = None
+            best_level = -1  # -1 = overflow heap
+            for level in (3, 2, 1, 0):
+                tick = self._next_slot_tick(level)
+                if tick is not None and (best_tick is None or tick < best_tick):
+                    # Strict `<`: at equal ticks the *coarser* level (iterated
+                    # first) wins, so a coarse slot starting at a tick cascades
+                    # its entries down before any fine slot at that tick is
+                    # harvested.  The fine harvest then merges everything due
+                    # at the instant in (time, seq) order.
+                    best_tick = tick
+                    best_level = level
+            while overflow:
+                head = overflow[0]
+                if head[2] is None:  # tombstoned in the overflow heap
+                    heapq.heappop(overflow)
+                    self._cancelled -= 1
+                    self._free.append(head)
+                    continue
+                head_tick = int(head[0] * _INV_RESOLUTION)
+                if best_tick is None or head_tick <= best_tick:
+                    # `<=`: overflow wins ties so its entries insort into the
+                    # near list before a same-tick wheel slot is harvested.
+                    best_tick = head_tick
+                    best_level = -1
+                break
+            if best_tick is None:
+                return self._near_pos < len(near)
+            if near and self._near_pos < len(near) and best_tick > self._tick:
+                # Pending near entries are all due at/before the cursor; the
+                # next wheel slot is strictly later, so the batch is complete.
+                return True
+            if best_tick > self._tick:
+                self._tick = best_tick
+            # (best_tick <= cursor only via a stale occupancy bit left by a
+            # cancel-emptied slot: the cursor must not regress, and the slot
+            # below is guaranteed empty -- live entries always sit strictly
+            # ahead of the cursor at their level.)
+            if best_level == -1:
+                # Drain every overflow record sharing the minimal tick.
+                while overflow:
+                    head = overflow[0]
+                    if head[2] is None:
+                        heapq.heappop(overflow)
+                        self._cancelled -= 1
+                        self._free.append(head)
+                        continue
+                    if int(head[0] * _INV_RESOLUTION) != best_tick:
+                        break
+                    insort(near, heapq.heappop(overflow), lo=self._near_pos)
+                continue
+            shift = _LEVEL_SHIFTS[best_level]
+            index = (best_tick >> shift) & _LEVEL_MASKS[best_level]
+            bucket = levels[best_level][index]
+            occupancy[best_level] &= ~(1 << index)
+            if not bucket:
+                continue  # stale occupancy bit (slot emptied by cancels)
+            levels[best_level][index] = []
+            if best_level == 0:
+                if near and self._near_pos < len(near):
+                    for record in bucket:
+                        insort(near, record, lo=self._near_pos)
+                else:
+                    bucket.sort()
+                    near.extend(bucket)
+                return True
+            # Coarse slot: cascade its live entries down (their delta from the
+            # new cursor is strictly inside this level's span); recycle the
+            # tombstones instead of cascading them.
+            place = self._place
+            free = self._free
+            for record in bucket:
+                if record[2] is not None:
+                    place(record, record[0])
+                else:
+                    self._cancelled -= 1
+                    free.append(record)
+
+    # -- execution ----------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queues drain or simulated time reaches ``until``."""
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        ready = self._ready
+        near = self._near
+        free = self._free
+        processed = 0
+        exhausted = False
+        try:
+            while True:
+                while ready:
+                    func, arg = ready.popleft()
+                    processed += 1
+                    func(arg)
+                position = self._near_pos
+                if position >= len(near):
+                    if near:
+                        near.clear()
+                    self._near_pos = 0
+                    if not self._harvest_next():
+                        exhausted = True
+                        break
+                    position = self._near_pos
+                record = near[position]
+                func = record[2]
+                if func is None:
+                    # Tombstoned after harvest: skip and recycle.
+                    self._near_pos = position + 1
+                    self._cancelled -= 1
+                    free.append(record)
+                    continue
+                time = record[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                self._near_pos = position + 1
+                self._now = time
+                arg = record[3]
+                record[2] = None
+                record[3] = None
+                free.append(record)
+                processed += 1
+                func(arg)
+            if exhausted and until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+            self.events_processed += processed
+            self._trim_near()
+        return self._now
+
+    def run_until(self, event: Event, timeout: float = 1e9) -> bool:
+        """Process queued events until ``event`` triggers (or ``timeout``)."""
+        if self._running:
+            raise SimulationError("simulator is already running")
+        deadline = self._now + timeout
+        self._running = True
+        ready = self._ready
+        near = self._near
+        free = self._free
+        processed = 0
+        try:
+            while not event._triggered:
+                if ready:
+                    func, arg = ready.popleft()
+                    processed += 1
+                    func(arg)
+                    continue
+                position = self._near_pos
+                if position >= len(near):
+                    if near:
+                        near.clear()
+                    self._near_pos = 0
+                    if not self._harvest_next():
+                        break
+                    position = self._near_pos
+                record = near[position]
+                func = record[2]
+                if func is None:
+                    self._near_pos = position + 1
+                    self._cancelled -= 1
+                    free.append(record)
+                    continue
+                time = record[0]
+                if time > deadline:
+                    break
+                self._near_pos = position + 1
+                self._now = time
+                arg = record[3]
+                record[2] = None
+                record[3] = None
+                free.append(record)
+                processed += 1
+                func(arg)
+        finally:
+            self._running = False
+            self.events_processed += processed
+            self._trim_near()
+        return event._triggered
+
+    def _trim_near(self) -> None:
+        """Drop the consumed prefix of the near list between run calls."""
+        if self._near_pos:
+            del self._near[: self._near_pos]
+            self._near_pos = 0
+

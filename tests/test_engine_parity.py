@@ -1,0 +1,78 @@
+"""Engine-parity proof: heap and wheel runs are bit-identical end to end.
+
+The wheel engine re-implements the time-keyed queue of the simulator; the
+determinism contract (``(time, seq)`` tie-break, FIFO same-instant ready
+queue, identical ``events_processed`` accounting) promises that swapping the
+engine changes *wall-clock only*.  These tests pin that promise at the
+full-stack level: a scenario run under each engine must produce identical
+end-state metrics -- membership, stored items, RPC counts per method, message
+totals, simulated time and the exact number of executed events.
+
+The smoke-scenario matrix runs in tier-1.  The heavier ``scale_300`` matrix
+(fixed + adaptive maintenance, seeds 0..2 -- the acceptance matrix for the
+engine work) takes ~30 s of CPU, so it runs only when ``REPRO_PARITY_FULL``
+is set; the CI engine-parity job exports it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.runner import run_cell
+
+# Every end-state field that must not depend on the engine.  wall_clock_s and
+# events_per_wall_s are the only result fields allowed to differ (plus the
+# engine tag itself).
+PARITY_FIELDS = (
+    "ring_members",
+    "items_stored",
+    "items_requested",
+    "rpc_calls",
+    "rpc_timeouts",
+    "messages_sent",
+    "events_processed",
+    "sim_time_s",
+    "rpc_per_method",
+)
+
+
+def _end_state(scenario: str, seed: int, engine: str) -> dict:
+    # REPRO_ENGINE overrides the per-cell engine choice inside make_simulator;
+    # a forced engine would collapse both sides of the comparison onto one
+    # implementation, so neutralize it for the duration of the run.
+    forced = os.environ.pop("REPRO_ENGINE", None)
+    try:
+        cell = run_cell((scenario, seed, engine))
+    finally:
+        if forced is not None:
+            os.environ["REPRO_ENGINE"] = forced
+    assert cell["engine"] == engine
+    return {field: cell[field] for field in PARITY_FIELDS}
+
+
+def _assert_parity(scenario: str, seed: int) -> None:
+    heap_state = _end_state(scenario, seed, "heap")
+    wheel_state = _end_state(scenario, seed, "wheel")
+    assert heap_state == wheel_state, (
+        f"{scenario}[seed={seed}]: engines diverged\n"
+        f"  heap:  {heap_state}\n  wheel: {wheel_state}"
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_smoke_parity(seed):
+    _assert_parity("smoke", seed)
+
+
+FULL_MATRIX = bool(os.environ.get("REPRO_PARITY_FULL"))
+
+
+@pytest.mark.skipif(
+    not FULL_MATRIX, reason="set REPRO_PARITY_FULL=1 for the scale_300 matrix"
+)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("scenario", ["scale_300", "scale_300_adaptive"])
+def test_scale_300_parity(scenario, seed):
+    _assert_parity(scenario, seed)

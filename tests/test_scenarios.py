@@ -63,13 +63,17 @@ def test_scale_sweep_suite_composition():
     suite = get_suite("scale_sweep")
     assert suite.scenarios == (
         "scale_100",
+        "scale_100_adaptive",
         "scale_300",
+        "scale_300_adaptive",
         "scale_1000",
-        "scale_3000",
-        "scale_5000",
-        "scale_5000_adaptive",
+        "scale_1000_adaptive",
+        "scale_1000_wheel",
     )
     assert suite.bench_name == "scale"
+    deep = get_suite("scale_sweep_deep")
+    assert deep.scenarios == ("scale_3000", "scale_5000", "scale_5000_adaptive")
+    assert deep.bench_name == "scale_deep"
 
 
 def test_unknown_scenario_raises_with_known_names():

@@ -1,4 +1,9 @@
-"""Unit tests for the discrete-event simulation engine."""
+"""Unit tests for the discrete-event simulation engines.
+
+Every test runs against both the binary-heap engine and the timer-wheel
+engine: the two must honor an identical semantics contract (see the "Engine
+contract" section of docs/ARCHITECTURE.md).
+"""
 
 import pytest
 
@@ -9,15 +14,20 @@ from repro.sim.engine import (
     SimulationError,
     Simulator,
 )
+from repro.sim.wheel import WheelSimulator
 
 
-def test_time_starts_at_zero():
-    sim = Simulator()
+@pytest.fixture(params=[Simulator, WheelSimulator], ids=["heap", "wheel"])
+def sim(request):
+    """A fresh simulator of each engine flavor."""
+    return request.param()
+
+
+def test_time_starts_at_zero(sim):
     assert sim.now == 0.0
 
 
-def test_timeout_advances_clock():
-    sim = Simulator()
+def test_timeout_advances_clock(sim):
     fired = []
 
     def proc():
@@ -29,8 +39,7 @@ def test_timeout_advances_clock():
     assert fired == [5.0]
 
 
-def test_run_until_limit_stops_early():
-    sim = Simulator()
+def test_run_until_limit_stops_early(sim):
 
     def proc():
         yield sim.timeout(100.0)
@@ -40,8 +49,7 @@ def test_run_until_limit_stops_early():
     assert sim.now == 10.0
 
 
-def test_events_fire_in_time_order():
-    sim = Simulator()
+def test_events_fire_in_time_order(sim):
     order = []
 
     def make(delay, label):
@@ -58,8 +66,7 @@ def test_events_fire_in_time_order():
     assert order == ["a", "b", "c"]
 
 
-def test_same_time_events_fire_in_schedule_order():
-    sim = Simulator()
+def test_same_time_events_fire_in_schedule_order(sim):
     order = []
 
     def make(label):
@@ -75,14 +82,12 @@ def test_same_time_events_fire_in_schedule_order():
     assert order == ["first", "second", "third"]
 
 
-def test_negative_timeout_rejected():
-    sim = Simulator()
+def test_negative_timeout_rejected(sim):
     with pytest.raises(SimulationError):
         sim.timeout(-1.0)
 
 
-def test_event_succeed_carries_value():
-    sim = Simulator()
+def test_event_succeed_carries_value(sim):
     event = sim.event()
     seen = []
 
@@ -96,23 +101,20 @@ def test_event_succeed_carries_value():
     assert seen == ["payload"]
 
 
-def test_event_cannot_trigger_twice():
-    sim = Simulator()
+def test_event_cannot_trigger_twice(sim):
     event = sim.event()
     event.succeed(1)
     with pytest.raises(SimulationError):
         event.succeed(2)
 
 
-def test_event_fail_requires_exception():
-    sim = Simulator()
+def test_event_fail_requires_exception(sim):
     event = sim.event()
     with pytest.raises(SimulationError):
         event.fail("not an exception")
 
 
-def test_event_failure_raises_in_waiter():
-    sim = Simulator()
+def test_event_failure_raises_in_waiter(sim):
     event = sim.event()
     caught = []
 
@@ -128,8 +130,7 @@ def test_event_failure_raises_in_waiter():
     assert caught == ["boom"]
 
 
-def test_waiting_on_triggered_event_resumes_immediately():
-    sim = Simulator()
+def test_waiting_on_triggered_event_resumes_immediately(sim):
     event = sim.event()
     event.succeed("early")
     seen = []
@@ -143,8 +144,7 @@ def test_waiting_on_triggered_event_resumes_immediately():
     assert seen == [(0.0, "early")]
 
 
-def test_process_return_value_becomes_event_value():
-    sim = Simulator()
+def test_process_return_value_becomes_event_value(sim):
 
     def inner():
         yield sim.timeout(1.0)
@@ -158,8 +158,7 @@ def test_process_return_value_becomes_event_value():
     assert result == 84
 
 
-def test_run_process_stops_at_completion_not_timeout():
-    sim = Simulator()
+def test_run_process_stops_at_completion_not_timeout(sim):
 
     def background():
         while True:
@@ -175,8 +174,7 @@ def test_run_process_stops_at_completion_not_timeout():
     assert sim.now == pytest.approx(1.0)
 
 
-def test_run_process_raises_process_exception():
-    sim = Simulator()
+def test_run_process_raises_process_exception(sim):
 
     def failing():
         yield sim.timeout(0.1)
@@ -186,8 +184,7 @@ def test_run_process_raises_process_exception():
         sim.run_process(failing())
 
 
-def test_run_process_timeout_raises():
-    sim = Simulator()
+def test_run_process_timeout_raises(sim):
 
     def never():
         yield sim.event()  # never triggered
@@ -196,8 +193,7 @@ def test_run_process_timeout_raises():
         sim.run_process(never(), timeout=5.0)
 
 
-def test_process_yielding_non_event_fails():
-    sim = Simulator()
+def test_process_yielding_non_event_fails(sim):
 
     def bad():
         yield 42
@@ -208,8 +204,7 @@ def test_process_yielding_non_event_fails():
     assert isinstance(proc.value, SimulationError)
 
 
-def test_interrupt_terminates_waiting_process():
-    sim = Simulator()
+def test_interrupt_terminates_waiting_process(sim):
     progressed = []
 
     def proc():
@@ -224,8 +219,7 @@ def test_interrupt_terminates_waiting_process():
     assert not process.alive
 
 
-def test_interrupt_can_be_caught():
-    sim = Simulator()
+def test_interrupt_can_be_caught(sim):
     caught = []
 
     def proc():
@@ -240,8 +234,7 @@ def test_interrupt_can_be_caught():
     assert caught == ["reason"]
 
 
-def test_interrupting_finished_process_is_noop():
-    sim = Simulator()
+def test_interrupting_finished_process_is_noop(sim):
 
     def proc():
         yield sim.timeout(1.0)
@@ -253,8 +246,7 @@ def test_interrupting_finished_process_is_noop():
     assert process.triggered
 
 
-def test_any_of_returns_first_winner():
-    sim = Simulator()
+def test_any_of_returns_first_winner(sim):
 
     def proc():
         first = sim.timeout(5.0, value="slow")
@@ -265,14 +257,12 @@ def test_any_of_returns_first_winner():
     assert sim.run_process(proc()) == (1, "fast")
 
 
-def test_any_of_requires_events():
-    sim = Simulator()
+def test_any_of_requires_events(sim):
     with pytest.raises(SimulationError):
         AnyOf(sim, [])
 
 
-def test_all_of_collects_values_in_order():
-    sim = Simulator()
+def test_all_of_collects_values_in_order(sim):
 
     def proc():
         events = [sim.timeout(3.0, "c"), sim.timeout(1.0, "a"), sim.timeout(2.0, "b")]
@@ -282,16 +272,14 @@ def test_all_of_collects_values_in_order():
     assert sim.run_process(proc()) == ["c", "a", "b"]
 
 
-def test_all_of_empty_completes_immediately():
-    sim = Simulator()
+def test_all_of_empty_completes_immediately(sim):
     condition = AllOf(sim, [])
     assert condition.triggered
     assert condition.value == []
 
 
-def test_stale_wakeup_after_interrupt_is_ignored():
+def test_stale_wakeup_after_interrupt_is_ignored(sim):
     """A pending event firing after its waiter was interrupted must not resume it."""
-    sim = Simulator()
     steps = []
 
     def proc():
@@ -308,8 +296,7 @@ def test_stale_wakeup_after_interrupt_is_ignored():
     assert steps == ["interrupted", "second wait done"]
 
 
-def test_nested_run_rejected():
-    sim = Simulator()
+def test_nested_run_rejected(sim):
 
     def proc():
         sim.run()
@@ -319,3 +306,144 @@ def test_nested_run_rejected():
     sim.run()
     assert not process.ok
     assert isinstance(process.value, SimulationError)
+
+
+# --------------------------------------------------------------------------- timer API
+# schedule_timer/cancel_timer is the engine-agnostic fast path the network
+# uses for RPC expiries.  The contract: a handle is valid until its timer
+# fires or is cancelled; cancellation is O(1); cancelling an already-dead
+# handle (fired or cancelled, with no intervening re-arm) is a no-op that
+# returns None.
+
+
+def test_timer_fires_with_arg(sim):
+    fired = []
+    sim.schedule_timer(1.5, fired.append, "payload")
+    sim.run()
+    assert fired == ["payload"]
+    assert sim.now == 1.5
+
+
+def test_cancel_timer_returns_arg_and_suppresses_fire(sim):
+    fired = []
+    handle = sim.schedule_timer(1.0, fired.append, "doomed")
+    assert sim.cancel_timer(handle) == "doomed"
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_after_fire_returns_none(sim):
+    fired = []
+    handle = sim.schedule_timer(1.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert sim.cancel_timer(handle) is None
+
+
+def test_cancel_twice_returns_none_second_time(sim):
+    handle = sim.schedule_timer(1.0, lambda arg: None, "once")
+    assert sim.cancel_timer(handle) == "once"
+    assert sim.cancel_timer(handle) is None
+    sim.run()
+
+
+def test_cancel_then_reschedule_keeps_tie_break_order(sim):
+    """A re-armed timer takes a fresh sequence number: it fires after every
+    timer armed between the cancel and the re-arm, even at the same instant."""
+    fired = []
+    first = sim.schedule_timer(2.0, fired.append, "original")
+    sim.schedule_timer(2.0, fired.append, "middle")
+    assert sim.cancel_timer(first) == "original"
+    sim.schedule_timer(2.0, fired.append, "re-armed")
+    sim.run()
+    assert fired == ["middle", "re-armed"]
+
+
+def test_cancel_from_callback_mid_run(sim):
+    """Cancelling a pending timer from inside a firing callback works."""
+    fired = []
+    victim = sim.schedule_timer(5.0, fired.append, "victim")
+
+    def killer(arg):
+        fired.append("killer")
+        assert sim.cancel_timer(victim) == "victim"
+
+    sim.schedule_timer(1.0, killer, None)
+    sim.run()
+    assert fired == ["killer"]
+
+
+def test_mass_cancellation_mid_run_preserves_determinism(sim):
+    """Crossing the tombstone-reclamation threshold (heap compaction / wheel
+    sweep, both >2048) while the run loop is live must not disturb the
+    (time, seq) firing order of the survivors."""
+    fired = []
+    handles = []
+    for i in range(6000):
+        # Deadlines interleave across cancelled and surviving entries.
+        handles.append(sim.schedule_timer(10.0 + (i % 100) * 0.25, fired.append, i))
+
+    def purge(arg):
+        fired.append("purge")
+        for i, handle in enumerate(handles):
+            if i % 6:  # cancel 5000 of 6000 -> reclamation triggers mid-run
+                sim.cancel_timer(handle)
+
+    sim.schedule_timer(1.0, purge, None)
+    sim.run()
+    survivors = [i for i in range(6000) if not i % 6]
+    expected = ["purge"] + sorted(survivors, key=lambda i: (10.0 + (i % 100) * 0.25, i))
+    assert fired == expected
+
+
+def test_far_future_timer_fires_and_cancels(sim):
+    """Delays beyond the wheel's ~73 h horizon (overflow heap territory)."""
+    fired = []
+    sim.schedule_timer(400_000.0, fired.append, "far")
+    doomed = sim.schedule_timer(500_000.0, fired.append, "doomed")
+    sim.schedule_timer(1.0, fired.append, "near")
+    assert sim.cancel_timer(doomed) == "doomed"
+    sim.run()
+    assert fired == ["near", "far"]
+    assert sim.now == 400_000.0
+
+
+def test_level_span_boundary_delays_complete(sim):
+    """Regression: deltas just under a wheel level's span used to wrap onto
+    the cursor's own slot and cascade forever.  Exercise every boundary from
+    a cursor with low bits set."""
+    fired = []
+    sim.schedule_timer(0.4, fired.append, "advance")
+    sim.run()  # leaves the wheel cursor mid-revolution
+    tick = 2.0**-8
+    deltas = []
+    for span_ticks in (256, 2**14, 2**20, 2**26):
+        for offset in (-2, -1, 0, 1):
+            deltas.append((span_ticks + offset) * tick)
+    expected = []
+    for index, delay in enumerate(deltas):
+        sim.schedule_timer(delay, fired.append, index)
+        expected.append((sim.now + delay, index))
+    sim.run()
+    assert fired == ["advance"] + [i for _, i in sorted(expected)]
+
+
+def test_timer_rejects_negative_delay(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule_timer(-0.1, lambda arg: None, None)
+
+
+def test_schedule_at_rejects_past(sim):
+    sim.schedule_timer(1.0, lambda arg: None, None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda arg: None, None)
+
+
+def test_schedule_at_absolute_time_ordering(sim):
+    fired = []
+    sim.schedule_at(3.0, fired.append, "late")
+    sim.schedule_at(2.0, fired.append, "early")
+    sim.schedule_timer(2.5, fired.append, "middle")
+    sim.run()
+    assert fired == ["early", "middle", "late"]
