@@ -150,7 +150,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"wall={cell['wall_clock_s']:.2f}s sim={cell['sim_time_s']:.0f}s "
                 f"events={cell['events_processed']} "
                 f"({cell['events_per_wall_s']:.0f}/s) ring={cell['ring_members']} "
-                f"items={cell['items_stored']}/{cell['items_requested']}"
+                f"items={cell['items_stored']}/{cell['items_requested']} "
+                f"reachable={cell.get('items_reachable', '?')}"
             )
             for phase in cell.get("phases", ()):
                 timed_out = " START-TIMEOUT" if phase["start_timed_out"] else ""

@@ -354,6 +354,56 @@ def check_item_availability(history: History) -> CheckResult:
     return CheckResult.failure(violations)
 
 
+# --------------------------------------------------------------------------- reachability
+@dataclass
+class ReachabilityAudit:
+    """Scan-vs-store audit: which stored copies a full scanRange would return.
+
+    A copy is *reachable* when its search key value lies inside the holding
+    peer's current range -- exactly the predicate ``scan_range`` applies when
+    it visits the peer.  Copies outside the range (typically strays below the
+    effective ring boundary after a half-completed split) are counted as
+    *stranded*: ``total_stored_items()`` sees them, scans never do.
+    """
+
+    items_stored: int
+    items_reachable: int
+    stranded: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.items_reachable == self.items_stored
+
+    @property
+    def items_stranded(self) -> int:
+        return self.items_stored - self.items_reachable
+
+
+def audit_reachability(peers: Sequence) -> ReachabilityAudit:
+    """Audit every live peer's Data Store for stranded (scan-invisible) copies.
+
+    ``peers`` is any sequence of objects exposing ``alive``, ``address`` and a
+    ``store`` with ``active``, ``range`` and ``items`` -- in practice the ring
+    members of a :class:`~repro.index.pring.PRingIndex`.
+    """
+    stored = 0
+    reachable = 0
+    stranded: List[Tuple[str, float]] = []
+    for peer in peers:
+        if not peer.alive:
+            continue
+        store = peer.store
+        if not store.active:
+            continue
+        for item in store.items.all_items():
+            stored += 1
+            if store.range is None or store.range.contains(item.skv):
+                reachable += 1
+            else:
+                stranded.append((peer.address, item.skv))
+    return ReachabilityAudit(stored, reachable, stranded)
+
+
 def count_lost_items(history: History, peers: Sequence) -> List[float]:
     """Keys of items inserted, never deleted, and not present on any live peer.
 

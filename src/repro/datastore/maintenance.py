@@ -18,6 +18,19 @@ maintenance operations:
   (availability-preserving or naive, per configuration), and returns itself to
   the free-peer pool.
 
+Two repair paths complement the three paper operations (see
+docs/ARCHITECTURE.md, "Shed and rebalance"):
+
+* **Shed** -- the periodic check routes *ring-stranded* copies (items below
+  the effective ring boundary after a half-completed split; counted by
+  ``total_stored_items()`` but invisible to ``scan_range``) back to their
+  responsible owner through the normal store path, and drops the local copy
+  only after a version-checked ack.
+* **Bulk transfer** -- ``ds_bulk_get`` / ``ds_bulk_put`` let the global
+  rebalancer (:class:`repro.datastore.rebalance.GlobalRebalancer`) move the
+  lower slice of a loaded peer's range onto a FREE peer with move-then-delete
+  ordering, reusing the split's pending-transfer/confirmation machinery.
+
 The merge path is exactly what Figure 22 measures and what the availability
 ablations stress.
 """
@@ -30,6 +43,7 @@ from repro.datastore.items import items_from_wire, items_to_wire
 from repro.datastore.ranges import CircularRange
 from repro.datastore.store import DataStore
 from repro.index.config import IndexConfig
+from repro.maintenance.cadence import AdaptiveCadence
 from repro.ring.chord import ChordRing
 from repro.sim.network import RpcError
 from repro.sim.node import Node
@@ -78,6 +92,7 @@ class StorageBalancer:
         replication,
         config: IndexConfig,
         pool_address: Optional[str],
+        router=None,
         metrics=None,
         history=None,
     ):
@@ -87,19 +102,36 @@ class StorageBalancer:
         self.replication = replication
         self.config = config
         self.pool_address = pool_address
+        self.router = router
         self.metrics = metrics
         self.history = history
 
         self._balancing = False
         self._pending_split: Optional[Dict] = None
+        # Deferral backoff (periodic path only): a deferred split -- no free
+        # peer, or an overflow made of ring-stranded items -- used to be
+        # retried on every balancer round, hot-spinning the periodic check at
+        # saturation.  Consecutive deferrals now back the retry off
+        # multiplicatively; an overflow event (a new insert) still triggers an
+        # immediate attempt, and a started split resets the backoff.
+        self._defer_until = 0.0
+        self._defer_cadence = AdaptiveCadence(
+            base=max(config.stabilization_period, 2.0),
+            growth=2.0,
+            max_factor=8.0,
+            success_threshold=1,
+        )
 
         store.on_overflow = self.schedule_split
         store.on_underflow = self.schedule_merge
+        store.on_range_changed = self.schedule_shed
 
         node.register_handler("ds_activate", self._handle_activate)
         node.register_handler("ds_split_complete", self._handle_split_complete)
         node.register_handler("ds_redistribute_request", self._handle_redistribute_request)
         node.register_handler("ds_absorb_items", self._handle_absorb_items)
+        node.register_handler("ds_bulk_get", self._handle_bulk_get)
+        node.register_handler("ds_bulk_put", self._handle_bulk_put)
 
         # Periodic safety net: re-check thresholds in case a triggered attempt
         # aborted (no free peers, busy successor, transient failures).
@@ -134,14 +166,25 @@ class StorageBalancer:
         if not self._balancing:
             self.node.spawn(self.maybe_merge(), name="ds-merge")
 
+    def schedule_shed(self) -> None:
+        """Request a shed pass (called when a range boundary moves).
+
+        Event-driven so a boundary shrink that strands copies near the end of
+        a run is healed immediately instead of waiting out a periodic round.
+        """
+        if not self._balancing and self._shed_due():
+            self.node.spawn(self.maybe_shed(), name="ds-shed")
+
     def _periodic_check(self) -> None:
         if self._balancing or not self.store.active:
             return
         count = self.store.item_count()
-        if count > self.config.overflow_threshold:
+        if count > self.config.overflow_threshold and self.node.sim.now >= self._defer_until:
             self.schedule_split()
         elif count < self.config.underflow_threshold:
             self.schedule_merge()
+        elif self._shed_due():
+            self.node.spawn(self.maybe_shed(), name="ds-shed")
 
     # ------------------------------------------------------------------ split
     def maybe_split(self):
@@ -150,6 +193,7 @@ class StorageBalancer:
             return
         if self.pool_address is None:
             return
+        shed_instead = False
         self._balancing = True
         try:
             yield self.store.range_lock.acquire_write()
@@ -175,8 +219,13 @@ class StorageBalancer:
                 if len(ordered) <= self.config.overflow_threshold or len(ordered) < 2:
                     # Overflowed only counting items the ring would not accept
                     # a join for (stranded by a boundary move): a split cannot
-                    # help, so defer instead of churning the free-peer pool.
-                    self._record_op("split_deferred", reason="ring_boundary_mismatch")
+                    # help, so defer instead of churning the free-peer pool --
+                    # and shed the stranded copies, which is the actual remedy
+                    # (an overflow branch that always wins the periodic check
+                    # would otherwise starve the shed until the deferral
+                    # backoff opens a window).
+                    self._note_deferral("ring_boundary_mismatch")
+                    shed_instead = self._shed_due()
                     return
                 middle = (len(ordered) - 1) // 2
                 split_key = ordered[middle].skv
@@ -197,8 +246,13 @@ class StorageBalancer:
                 return
             free_address = response.get("address")
             if free_address is None:
-                self._record_op("split_deferred", reason="no_free_peer")
+                self._note_deferral("no_free_peer")
+                shed_instead = self._shed_due()
                 return
+            # A split is actually starting: the conditions that caused earlier
+            # deferrals no longer hold, so retry promptly from now on.
+            self._defer_cadence.note_change()
+            self._defer_until = 0.0
 
             completion = self.node.sim.event()
             self._pending_split = {
@@ -239,6 +293,8 @@ class StorageBalancer:
             yield from self._finish_split()
         finally:
             self._balancing = False
+        if shed_instead:
+            yield from self.maybe_shed()
 
     def _handle_activate(self, payload, request):
         """RPC (at the free peer): take over a range and join the ring."""
@@ -329,6 +385,12 @@ class StorageBalancer:
             return {"ok": False}
         if not pending["event"].triggered:
             pending["event"].succeed(payload)
+        # First-hand knowledge: the partner sits directly behind us now.
+        # Adopting it immediately closes the window in which a stale
+        # predecessor announcement re-widens the range below the split key.
+        self.ring.adopt_inserted_predecessor(
+            payload["new_peer"], payload["split_key"]
+        )
         return {"ok": True}
 
     def _finish_split(self):
@@ -371,7 +433,12 @@ class StorageBalancer:
                 yield self.node.call(new_peer, "ds_remove_item", {"skv": skv})
             except RpcError:
                 pass
-        self._record_op("split_finished", new_peer=new_peer, split_key=split_key)
+        finished = (
+            "rebalance_finished"
+            if pending.get("kind") == "rebalance"
+            else "split_finished"
+        )
+        self._record_op(finished, new_peer=new_peer, split_key=split_key)
         self._pending_split = None
 
     def note_local_delete(self, skv: float) -> None:
@@ -379,6 +446,191 @@ class StorageBalancer:
         pending = self._pending_split
         if pending is not None and skv in pending["transferred"]:
             pending["deleted_during"].add(skv)
+
+    def _note_deferral(self, reason: str) -> None:
+        """Record a deferred split and push the next periodic retry out."""
+        self._record_op("split_deferred", reason=reason)
+        self._defer_until = self.node.sim.now + self._defer_cadence.interval()
+        self._defer_cadence.note_success()
+
+    # ------------------------------------------------------------------ stranded-item shed
+    def _stranded_items(self) -> list:
+        """Copies below the effective ring boundary -- stored but scan-invisible.
+
+        The complement of :meth:`_split_candidates`: a half-completed split
+        (or a predecessor moving inside a lagging range) leaves copies whose
+        keys the ring no longer attributes to this peer.  ``scan_range`` only
+        serves items inside the current range, so these copies are unreachable
+        until shed to their responsible owner.
+        """
+        if not self.store.active or self.store.range is None or self.store.range.full:
+            return []
+        base = self._split_base()
+        own_distance = self._clockwise_distance(self.ring.value, base)
+        return [
+            item
+            for item in self.store.items.all_items()
+            if self._clockwise_distance(item.skv, base) > own_distance
+        ]
+
+    def _shed_due(self) -> bool:
+        return (
+            self.config.shed_stranded
+            and self.router is not None
+            and bool(self._stranded_items())
+        )
+
+    def maybe_shed(self):
+        """Route ring-stranded copies to their responsible owner, then drop them.
+
+        Store-then-delete: the local copy is removed only after the owner's
+        ack -- which carries the owner's store mutation version -- confirms
+        the copy is durably held elsewhere, and only if the copy is *still*
+        stranded at deletion time (the boundary may have moved back while the
+        store RPC was in flight).  Any failure leaves the copy where it was
+        for the next periodic round.
+        """
+        if self._balancing or self._pending_split is not None or self.router is None:
+            return
+        self._balancing = True
+        shed = 0
+        try:
+            for item in self._stranded_items():
+                if not self.store.active:
+                    break
+                target = yield from self.router.find_responsible(item.skv)
+                if target is None or target == self.address:
+                    continue
+                try:
+                    response = yield self.node.call(
+                        target,
+                        "ds_store_item",
+                        {"item": item.to_wire(), "reason": "shed"},
+                    )
+                except RpcError:
+                    continue
+                if not response.get("stored") or response.get("version") is None:
+                    continue
+                yield self.store.range_lock.acquire_write()
+                try:
+                    still_stranded = any(
+                        stray.skv == item.skv for stray in self._stranded_items()
+                    )
+                    if still_stranded:
+                        self.store.remove_local(item.skv, reason="shed")
+                        shed += 1
+                        self._record_op("item_shed", skv=item.skv, to_peer=target)
+                finally:
+                    self.store.range_lock.release_write()
+        finally:
+            self._balancing = False
+            if shed:
+                self._record_metric("shed", shed)
+
+    # ------------------------------------------------------------------ bulk transfer
+    def _handle_bulk_get(self, payload, request):
+        """RPC: start a move-then-delete bulk transfer out of this peer.
+
+        The global rebalancer asks this (loaded) peer to give up the lower
+        slice of its range to ``new_peer``.  Nothing is deleted here: the
+        items are *copied* out and a pending transfer is recorded, exactly as
+        in phase 1 of a split.  The delete phase only runs once the receiver
+        has joined the ring and confirmed via ``ds_split_complete``; if it
+        never does, the waiter times out and this peer keeps serving
+        everything it holds.
+        """
+        if (
+            self._balancing
+            or self._pending_split is not None
+            or not self.store.active
+            or self.store.range is None
+        ):
+            return {"ok": False, "reason": "busy"}
+        new_peer = payload.get("new_peer")
+        if not new_peer:
+            return {"ok": False, "reason": "bad_request"}
+        yield self.store.range_lock.acquire_write()
+        try:
+            if (
+                self._balancing
+                or self._pending_split is not None
+                or not self.store.active
+                or self.store.range is None
+            ):
+                return {"ok": False, "reason": "busy"}
+            sf = self.config.storage_factor
+            base = self._split_base()
+            ordered = sorted(
+                self._split_candidates(),
+                key=lambda item: self._clockwise_distance(item.skv, base),
+            )
+            requested = int(payload.get("max_items", sf))
+            give = min(requested, len(ordered) - sf, self.store.item_count() - sf)
+            if give < sf:
+                # The receiver would join already underflowed and merge right
+                # back out -- a churn loop, not a rebalance.
+                return {"ok": False, "reason": "underloaded"}
+            lower_items = ordered[:give]
+            split_key = lower_items[-1].skv
+            if split_key == self.ring.value:
+                return {"ok": False, "reason": "degenerate"}
+            join_via = self.ring.join_contact_for(split_key)
+            completion = self.node.sim.event()
+            self._pending_split = {
+                "new_peer": new_peer,
+                "split_key": split_key,
+                "range_low": base,
+                "transferred": {item.skv for item in lower_items},
+                "deleted_during": set(),
+                "event": completion,
+                "kind": "rebalance",
+            }
+        finally:
+            self.store.range_lock.release_write()
+        self._record_op(
+            "rebalance_out",
+            new_peer=new_peer,
+            split_key=split_key,
+            count=len(lower_items),
+        )
+        self.node.spawn(self._await_bulk_transfer(completion), name="ds-bulk-wait")
+        return {
+            "ok": True,
+            "value": split_key,
+            "range": (base, split_key, False),
+            "items": items_to_wire(lower_items),
+            "join_via": join_via,
+            "notify": self.address,
+        }
+
+    def _handle_bulk_put(self, payload, request):
+        """RPC: absorb a bulk range move (at a FREE peer) and join the ring.
+
+        The payload is exactly an activation -- value, range, items, join
+        contact, splitter to notify -- so the join/rollback choreography (and
+        its failure handling) is shared with splits.
+        """
+        return self._handle_activate(payload, request)
+
+    def _await_bulk_transfer(self, completion):
+        """Waiter for a rebalance-out: run the delete phase or abandon the move."""
+        pending = self._pending_split
+        self._balancing = True
+        try:
+            deadline = self.node.sim.timeout(self.config.leave_ack_timeout + 30.0)
+            yield self.node.sim.any_of([completion, deadline])
+            if not completion.triggered:
+                # Move-then-delete: the receiver never confirmed, nothing has
+                # been deleted -- drop the pending transfer and keep serving.
+                self._record_op(
+                    "rebalance_timed_out",
+                    new_peer=pending["new_peer"] if pending else None,
+                )
+                self._pending_split = None
+                return
+            yield from self._finish_split()
+        finally:
+            self._balancing = False
 
     # ------------------------------------------------------------------ merge / redistribute
     def maybe_merge(self):

@@ -1,0 +1,179 @@
+"""Global rebalancer: harvest FREE peers to relieve loaded ring members.
+
+At saturation scale (5000 peers, average store just under the overflow
+threshold) hundreds of peers sit FREE while loaded members defer splits --
+the overflow trigger only fires when a store crosses ``2*sf``, so a ring
+whose members all hold *exactly* ``2*sf`` items never recruits its spare
+capacity.  The :class:`GlobalRebalancer` closes that gap proactively: it
+periodically picks the most loaded ring member that can spare a coherent
+lower slice of its range and moves that slice onto a free peer.
+
+Like the :class:`~repro.datastore.maintenance.FreePeerPool`, the rebalancer
+is modelled as an addressable service: victim selection reads the membership
+directory, but every item and range movement happens through RPCs between the
+peers themselves --
+
+1. ``pool_acquire`` reserves a free peer,
+2. ``ds_bulk_get`` *copies* the victim's lower slice out and records a
+   pending transfer on the victim (nothing is deleted),
+3. ``ds_bulk_put`` activates the free peer with the slice; it joins the ring
+   and confirms back to the victim, whose waiter then runs the split delete
+   phase.
+
+The move-then-delete ordering means a crash at any point loses nothing: a
+dead receiver leaves the victim's copies (and pending transfer timeout)
+intact; a dead victim leaves the receiver as the sole owner of the moved
+slice.
+
+Pacing reuses :class:`~repro.maintenance.cadence.AdaptiveCadence`: a round
+that moved at least one range keeps the base period, idle rounds back off
+multiplicatively up to ``rebalance_backoff_max`` so a quiescent ring costs
+(almost) nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.maintenance.cadence import AdaptiveCadence
+from repro.sim.network import RpcError
+from repro.sim.node import Node
+
+#: Transfer keys forwarded verbatim from a ``ds_bulk_get`` response into the
+#: receiving peer's ``ds_bulk_put`` payload.
+_TRANSFER_KEYS = ("value", "range", "items", "join_via", "notify")
+
+
+class GlobalRebalancer(Node):
+    """A background coordinator that moves key ranges onto free peers."""
+
+    def __init__(
+        self,
+        sim,
+        network,
+        membership,
+        pool_address: str,
+        config,
+        metrics=None,
+        history=None,
+        address: str = "rebalancer",
+    ):
+        super().__init__(sim, network, address)
+        self.membership = membership
+        self.pool_address = pool_address
+        self.config = config
+        self.metrics = metrics
+        self.history = history
+        self.cadence = AdaptiveCadence(
+            base=config.rebalance_period,
+            growth=2.0,
+            max_factor=config.rebalance_backoff_max,
+            success_threshold=1,
+        )
+        self.moves_started = 0
+        self.moves_completed = 0
+        # ``every`` consults the cadence before each round and waits for the
+        # (generator) round to finish before sleeping, so rounds never overlap.
+        self.every(self.cadence.interval, self._round, name="rebalance")
+
+    def _record_op(self, kind: str, **attrs) -> None:
+        if self.history is not None:
+            self.history.record(kind, peer=self.address, **attrs)
+
+    # ------------------------------------------------------------------ rounds
+    def _round(self):
+        """One rebalancer round: up to ``rebalance_batch`` range moves."""
+        moved = 0
+        skip: Set[str] = set()
+        for _ in range(self.config.rebalance_batch):
+            picked = self._pick_victim(skip)
+            if picked is None:
+                break
+            victim, victim_count = picked
+            skip.add(victim)
+            ok = yield from self._move_range(victim, victim_count)
+            if ok:
+                moved += 1
+        if moved:
+            self.moves_completed += moved
+            if self.metrics is not None:
+                self.metrics.record("rebalance_moves", moved)
+            self.cadence.note_change()  # stay at base while productive
+        else:
+            self.cadence.note_success()  # quiescent ring: back off
+
+    def _pick_victim(self, skip: Set[str]):
+        """The most loaded ring member that can spare a bulk slice, or None.
+
+        Reads the membership directory (the modelled equivalent of the load
+        reports a deployed rebalancer would aggregate).  Iterating members in
+        ring order with a strict ``>`` makes the choice deterministic.
+        Returns ``(address, item_count)`` or ``None``.
+        """
+        if not self.membership.free_peers():
+            return None
+        spare_floor = 2 * self.config.storage_factor
+        best: Optional[str] = None
+        best_count = 0
+        for peer in self.membership.ring_members():
+            if peer.address in skip:
+                continue
+            count = peer.store.item_count()
+            if count >= spare_floor and count > best_count:
+                best = peer.address
+                best_count = count
+        if best is None:
+            return None
+        return best, best_count
+
+    def _move_range(self, victim: str, victim_count: int):
+        """Move the victim's lower slice onto a freshly acquired free peer."""
+        try:
+            response = yield self.call(self.pool_address, "pool_acquire", {})
+        except RpcError:
+            return False
+        free_address = response.get("address")
+        if free_address is None:
+            return False
+        try:
+            bulk = yield self.call(
+                victim,
+                "ds_bulk_get",
+                {"new_peer": free_address, "max_items": victim_count // 2},
+            )
+        except RpcError:
+            bulk = None
+        if not bulk or not bulk.get("ok"):
+            # Nothing was moved (victim busy, underloaded, or unreachable):
+            # return the reserved free peer for the next attempt.
+            yield from self._release(free_address)
+            return False
+        self.moves_started += 1
+        self._record_op(
+            "rebalance_move",
+            victim=victim,
+            to_peer=free_address,
+            split_key=bulk["value"],
+            count=len(bulk["items"]),
+        )
+        try:
+            put = yield self.call(
+                free_address,
+                "ds_bulk_put",
+                {key: bulk[key] for key in _TRANSFER_KEYS},
+            )
+        except RpcError:
+            # The receiver died before absorbing anything.  The victim's
+            # pending-transfer waiter times out and it keeps its items:
+            # move-then-delete means nothing is lost.
+            return False
+        if not put.get("accepted"):
+            yield from self._release(free_address)
+            return False
+        return True
+
+    def _release(self, address: str):
+        try:
+            yield self.call(self.pool_address, "pool_release", {"address": address})
+        except RpcError:
+            pass

@@ -52,6 +52,10 @@ class DataStore(RingListener):
         # Callbacks installed by the StorageBalancer.
         self.on_overflow: Optional[Callable[[], None]] = None
         self.on_underflow: Optional[Callable[[], None]] = None
+        # Fired whenever a range boundary moves: a shrink can strand held
+        # copies outside the new range, and the shed must not wait for the
+        # next periodic round to notice (the move may land near run end).
+        self.on_range_changed: Optional[Callable[[], None]] = None
 
         ring.add_listener(self)
         node.register_handler("ds_store_item", self._handle_store_item)
@@ -144,12 +148,16 @@ class DataStore(RingListener):
         high = self.range.high if self.range is not None and not self.range.full else self.ring.value
         self.range = CircularRange(new_low, high, full=(new_low == high))
         self._record_op("range_changed", range=self.range.as_tuple(), reason=reason)
+        if self.on_range_changed:
+            self.on_range_changed()
 
     def set_range_high(self, new_high: float, reason: str) -> None:
         """Move the upper bound of the range (redistribution boundary shift)."""
         low = self.range.low if self.range is not None else new_high
         self.range = CircularRange(low, new_high)
         self._record_op("range_changed", range=self.range.as_tuple(), reason=reason)
+        if self.on_range_changed:
+            self.on_range_changed()
 
     # ------------------------------------------------------------------ ring events
     def on_predecessor_changed(self, ring, old_address, old_value, new_address, new_value):
@@ -171,12 +179,17 @@ class DataStore(RingListener):
 
     # ------------------------------------------------------------------ RPC handlers
     def _handle_store_item(self, payload, request):
-        """RPC: store an item if this peer is responsible for its key."""
+        """RPC: store an item if this peer is responsible for its key.
+
+        The ack carries the store's mutation ``version`` so callers that
+        delete their local copy afterwards (the stranded-item shed) can
+        distinguish a confirmed store from a lost or refused one.
+        """
         item = Item.from_wire(payload["item"])
         if not self.owns_key(item.skv):
             return {"stored": False, "reason": "not_responsible"}
         stored = self.store_local(item, reason=payload.get("reason", "insert"))
-        return {"stored": True, "duplicate": not stored}
+        return {"stored": True, "duplicate": not stored, "version": self.items.version}
 
     def _handle_remove_item(self, payload, request):
         """RPC: delete an item if this peer is responsible for its key."""

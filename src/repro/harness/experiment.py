@@ -18,12 +18,13 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.correctness import QueryRecord
-from repro.harness.phases import PhaseResult, PhaseSpec
+from repro.harness.phases import PhaseResult, PhaseSpec, WorkloadSpec
 from repro.index.config import IndexConfig
 from repro.index.pring import PRingIndex
 from repro.workloads.churn import (
     FAIL,
     JOIN,
+    ChurnEvent,
     ChurnSchedule,
     failure_schedule,
     flash_crowd_schedule,
@@ -101,32 +102,31 @@ class ClusterExperiment:
 
     # ------------------------------------------------------------------ building
     def build(self, extra_settle: Optional[float] = None) -> PRingIndex:
-        """Bootstrap the deployment: staggered peer arrivals and item inserts."""
+        """Bootstrap the deployment: staggered peer arrivals and item inserts.
+
+        A thin wrapper over :meth:`run_phases`: the flat settings become one
+        ``build`` phase (same arrival/workload schedules, same derived
+        duration), so the legacy entry point and the phased lifecycle share a
+        single driver implementation.  ``extra_churn`` rides along as the
+        phase's arbitrary :class:`ChurnSchedule`.
+        """
         settings = self.settings
-        index = self.index
-        index.bootstrap()
-
-        rng = index.rngs.stream("workload")
-        keys = generate_keys(
-            settings.key_distribution,
-            settings.items,
-            self.config.key_space,
-            rng,
-            **dict(settings.key_params),
+        self.index.bootstrap()
+        phase = PhaseSpec(
+            name="build",
+            arrivals=settings.peers - 1,
+            arrival_period=settings.peer_join_period,
+            schedule=self.extra_churn,
+            workload=WorkloadSpec(
+                items=settings.items,
+                insert_rate=settings.item_insert_rate,
+                distribution=settings.key_distribution,
+                params=dict(settings.key_params),
+            ),
+            settle=settings.settle_time if extra_settle is None else extra_settle,
         )
-        self.inserted_keys = keys
-        workload = ItemWorkload(keys, insert_rate=settings.item_insert_rate, start_time=1.0)
-        joins = join_schedule(settings.peers - 1, period=settings.peer_join_period, start=0.5)
-        if self.extra_churn is not None:
-            joins = joins.merged_with(self.extra_churn)
-
-        index.sim.process(self._membership_driver(joins), name="driver:joins")
-        index.sim.process(self._item_driver(workload), name="driver:items")
-
-        duration = max(joins.duration, workload.duration + 1.0)
-        settle = settings.settle_time if extra_settle is None else extra_settle
-        index.run(duration + settle)
-        return index
+        self.run_phases((phase,), total_peers=settings.peers)
+        return self.index
 
     # ------------------------------------------------------------------ phased lifecycle
     def run_phases(
@@ -189,6 +189,12 @@ class ClusterExperiment:
                 spacing=phase.churn.flash_crowd_spacing,
             )
             joins = crowd if joins is None else joins.merged_with(crowd)
+        if phase.schedule is not None and len(phase.schedule) > 0:
+            # Arbitrary pre-built churn: event times are phase-relative.
+            shifted = ChurnSchedule(
+                [ChurnEvent(sim.now + event.time, event.kind) for event in phase.schedule]
+            )
+            joins = shifted if joins is None else joins.merged_with(shifted)
 
         workload: Optional[ItemWorkload] = None
         if phase.workload is not None:

@@ -181,7 +181,9 @@ _AGGREGATED_FIELDS = (
     "events_processed",
     "events_per_wall_s",
     "ring_members",
+    "free_peers",
     "items_stored",
+    "items_reachable",
     "rpc_calls",
     "rpc_timeouts",
     "messages_sent",

@@ -289,6 +289,11 @@ class ScenarioResult:
     rpc_per_method: Dict[str, int] = field(default_factory=dict)
     # Which event engine executed the cell ("heap" or "wheel").
     engine: str = "heap"
+    # Scan-vs-store audit (see PRingIndex.reachability): copies a full scan
+    # would return vs. copies stranded outside their holder's range.  The CI
+    # bench gate asserts items_reachable == items_stored.
+    items_reachable: int = 0
+    items_stranded: int = 0
     queries_run: int = 0
     queries_complete: int = 0
     query_mean_elapsed_s: float = 0.0
@@ -357,6 +362,7 @@ def run_spec(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResult:
     )
 
     wall = time.perf_counter() - started
+    audit = index.reachability()
     metrics = {}
     for name in _REPORTED_METRICS:
         summary = index.metrics.summary(name)
@@ -385,6 +391,8 @@ def run_spec(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResult:
         messages_sent=index.network.stats.messages_sent,
         rpc_per_method=dict(index.network.stats.per_method),
         engine=index.sim.engine_name,
+        items_reachable=audit.items_reachable,
+        items_stranded=audit.items_stranded,
         queries_run=len(outcomes),
         queries_complete=sum(1 for outcome in outcomes if outcome.complete),
         query_mean_elapsed_s=(
@@ -626,6 +634,27 @@ register(_adaptive_variant("scale_300"))
 register(_adaptive_variant("scale_1000"))
 register(_adaptive_variant("scale_5000"))
 
+# ---- global rebalancer ------------------------------------------------------
+# The saturation cell with the global rebalancer: at 5000 peers the average
+# store sits just under the overflow threshold, so ~800 peers finish FREE
+# (dead capacity -- nothing ever overflows hard enough to recruit them).  The
+# rebalancer bulk-moves range slices from the most loaded members onto free
+# peers (move-then-delete via ds_bulk_get/ds_bulk_put); the BENCH envelope's
+# ``free_peers`` aggregate is the observable.  Any IndexConfig flag can be set
+# the same way on other cells via the spec's ``config`` mapping.
+_scale_5000_adaptive = get_scenario("scale_5000_adaptive")
+register(
+    _scale_5000_adaptive.with_(
+        name="scale_5000_rebalance",
+        description="5000-peer adaptive cell with the global rebalancer harvesting FREE peers",
+        config={
+            **dict(_scale_5000_adaptive.config),
+            "rebalance_enabled": True,
+            "rebalance_batch": 64,
+        },
+    )
+)
+
 # ---- timer-wheel engine cells ----------------------------------------------
 # The same deployments on the wheel engine.  End-state metrics are identical
 # to the heap cells by the engine determinism contract (the parity CI job and
@@ -663,8 +692,13 @@ register_suite(
 register_suite(
     ScenarioSuite(
         name="scale_sweep_deep",
-        scenarios=("scale_3000", "scale_5000", "scale_5000_adaptive"),
-        description="the 3000/5000-peer cells (hours-scale; the weekly deep bench)",
+        scenarios=(
+            "scale_3000",
+            "scale_5000",
+            "scale_5000_adaptive",
+            "scale_5000_rebalance",
+        ),
+        description="the 3000/5000-peer cells (hours-scale; the weekly deep bench), including the rebalancer/reachability cell",
         bench_name="scale_deep",
     )
 )

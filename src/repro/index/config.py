@@ -37,6 +37,22 @@ class IndexConfig:
     # --- Data Store -----------------------------------------------------------
     storage_factor: int = 5
     key_space: float = 10_000.0
+    # Stranded-item shed: the balancer's periodic check routes copies that sit
+    # below the peer's effective ring boundary (left behind by half-completed
+    # splits, invisible to scanRange) back to their responsible owner, and only
+    # drops the local copy after a version-checked store ack.  On by default --
+    # it is what keeps ``items_reachable == items_stored``.
+    shed_stranded: bool = True
+
+    # --- Global rebalancer ------------------------------------------------------
+    # A background coordinator that harvests FREE peers by bulk-moving key
+    # ranges off loaded ring members (move-then-delete; see
+    # docs/ARCHITECTURE.md "Shed and rebalance").  Off by default: only the
+    # saturation-scale cells enable it.
+    rebalance_enabled: bool = False
+    rebalance_period: float = 8.0  # base cadence between rebalancer rounds
+    rebalance_backoff_max: float = 8.0  # idle rounds back off up to base*this
+    rebalance_batch: int = 16  # max range moves attempted per round
 
     # --- Replication Manager ---------------------------------------------------
     replication_factor: int = 6
@@ -107,6 +123,12 @@ class IndexConfig:
             raise ValueError("replication_factor must be >= 0")
         if self.key_space <= 0:
             raise ValueError("key_space must be positive")
+        if self.rebalance_period <= 0:
+            raise ValueError("rebalance_period must be positive")
+        if self.rebalance_backoff_max < 1.0:
+            raise ValueError("rebalance_backoff_max must be >= 1")
+        if self.rebalance_batch < 1:
+            raise ValueError("rebalance_batch must be >= 1")
         if self.router not in ("hierarchical", "linear"):
             raise ValueError(f"unknown router {self.router!r}")
         if self.engine not in ENGINE_NAMES:

@@ -68,6 +68,7 @@ class IndexPeer(Node):
             self.replication,
             config,
             pool_address,
+            router=self.router,
             metrics=metrics,
             history=history,
         )

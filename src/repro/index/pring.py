@@ -16,9 +16,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.correctness import QueryRecord
+from repro.core.correctness import QueryRecord, ReachabilityAudit, audit_reachability
 from repro.core.histories import HistoryRecorder
 from repro.datastore.maintenance import FreePeerPool
+from repro.datastore.rebalance import GlobalRebalancer
 from repro.harness.metrics import Metrics
 from repro.index.config import IndexConfig, default_config
 from repro.index.membership import MembershipIndex
@@ -51,6 +52,19 @@ class PRingIndex:
         self.query_records: List[QueryRecord] = []
         self._next_peer = 0
         self._bootstrapped = False
+        # Optional background coordinator harvesting FREE peers (off unless
+        # the configuration enables it; see docs/ARCHITECTURE.md).
+        self.rebalancer: Optional[GlobalRebalancer] = None
+        if self.config.rebalance_enabled:
+            self.rebalancer = GlobalRebalancer(
+                sim=self.sim,
+                network=self.network,
+                membership=self.membership,
+                pool_address=self.pool.address,
+                config=self.config,
+                metrics=self.metrics,
+                history=self.history,
+            )
 
     # ------------------------------------------------------------------ peers
     def _new_address(self) -> str:
@@ -133,6 +147,16 @@ class PRingIndex:
     def total_stored_items(self) -> int:
         """Total number of items across all live Data Stores."""
         return sum(peer.store.item_count() for peer in self.ring_members())
+
+    def reachability(self) -> ReachabilityAudit:
+        """Scan-vs-store audit: which stored copies a full scan would return.
+
+        ``items_reachable == items_stored`` is the deployment's first-class
+        correctness gate: any gap means some copy is stranded outside its
+        holder's range (usually by a half-completed split) and no range query
+        can ever return it.
+        """
+        return audit_reachability(self.ring_members())
 
     def split_pressure(self) -> bool:
         """Whether more ring growth is still pending.

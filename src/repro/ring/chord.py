@@ -311,6 +311,20 @@ class ChordRing:
             return best[0]
         return default_address
 
+    def adopt_inserted_predecessor(self, address: str, value: float) -> None:
+        """First-hand predecessor adoption: ``address`` inserted right behind us.
+
+        A Data Store split learns its partner joined the ring the instant the
+        partner's confirmation RPC arrives -- waiting for stabilization to
+        discover the same fact leaves a window in which a *stale*
+        ``predecessor_changed`` (the previous predecessor announcing itself
+        late) re-widens the store range below the split key, letting replica
+        revival resurrect just-shed copies that the boundary then strands.
+        Adoption goes through the normal closer-predecessor rule, so a stale
+        later announcement from further back is simply rejected.
+        """
+        self._consider_predecessor(address, value)
+
     def join_contact_for(self, value: float) -> str:
         """Best known contact through which a peer at ``value`` should join.
 

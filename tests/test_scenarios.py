@@ -72,7 +72,12 @@ def test_scale_sweep_suite_composition():
     )
     assert suite.bench_name == "scale"
     deep = get_suite("scale_sweep_deep")
-    assert deep.scenarios == ("scale_3000", "scale_5000", "scale_5000_adaptive")
+    assert deep.scenarios == (
+        "scale_3000",
+        "scale_5000",
+        "scale_5000_adaptive",
+        "scale_5000_rebalance",
+    )
     assert deep.bench_name == "scale_deep"
 
 
