@@ -13,6 +13,8 @@ Examples::
     repro-run adaptive_ablation      # fixed vs adaptive maintenance at 1000 peers
     repro-run scale_300 --engine wheel   # same cell on the timer-wheel engine
     repro-run scale_1000 --profile   # cProfile capture -> PROFILE_scale_1000.txt
+    repro-run localhost_20           # same protocols over real asyncio UDP sockets
+    repro-run localhost_20_sim --transport asyncio   # transport override on any cell
 """
 
 from __future__ import annotations
@@ -65,8 +67,14 @@ def _print_listing() -> None:
         suite = get_suite(name)
         print(f"  {name:24s} {suite.description} [{', '.join(suite.scenarios)}]")
     print("scenarios:")
+    print(f"  {'name':24s} {'peers':>5s}  {'engine':7s} {'transport':9s} description")
     for name in scenario_names():
-        print(f"  {name:24s} {get_scenario(name).description}")
+        spec = get_scenario(name)
+        transport = spec.transport.resolve() or "sim"
+        print(
+            f"  {name:24s} {spec.peers:5d}  {spec.engine:7s} {transport:9s} "
+            f"{spec.description}"
+        )
     print("figures:")
     for name in sorted(ALL_FIGURES):
         print(f"  {name:24s} {ALL_FIGURES[name].__doc__.strip().splitlines()[0]}")
@@ -100,6 +108,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=("heap", "wheel"),
         default=None,
         help="override the event engine of every cell (default: the spec's own choice)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("sim", "asyncio"),
+        default=None,
+        help="override the transport of every cell: 'sim' (discrete-event) or "
+        "'asyncio' (real UDP sockets on localhost, wall-clock time)",
     )
     parser.add_argument(
         "--profile",
@@ -137,6 +152,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             processes=args.processes,
             out_dir=out_dir,
             engine=args.engine,
+            transport=args.transport,
             profile_dir=args.out_dir if args.profile else None,
         )
     except ValueError as error:

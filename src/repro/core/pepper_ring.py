@@ -43,7 +43,7 @@ from repro.ring.entries import (
     SuccessorEntry,
     entries_to_wire,
 )
-from repro.sim.network import RpcError
+from repro.transport import RpcError
 
 
 class PepperRing(ChordRing):

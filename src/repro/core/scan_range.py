@@ -30,7 +30,7 @@ from typing import Dict, List, Optional
 from repro.datastore.items import Item, items_from_wire, items_to_wire
 from repro.datastore.ranges import CircularRange, segments_cover_interval
 from repro.index.config import IndexConfig
-from repro.sim.network import RpcError
+from repro.transport import RpcError
 
 
 class RangeQueryEngine:

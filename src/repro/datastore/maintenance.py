@@ -45,11 +45,10 @@ from repro.datastore.store import DataStore
 from repro.index.config import IndexConfig
 from repro.maintenance.cadence import AdaptiveCadence
 from repro.ring.chord import ChordRing
-from repro.sim.network import RpcError
-from repro.sim.node import Node
+from repro.transport import Endpoint, RpcError
 
 
-class FreePeerPool(Node):
+class FreePeerPool(Endpoint):
     """A directory of free peers (P-Ring keeps spare peers outside the ring).
 
     Modelled as an addressable service so that acquiring/releasing free peers
@@ -86,7 +85,7 @@ class StorageBalancer:
 
     def __init__(
         self,
-        node: Node,
+        node: Endpoint,
         ring: ChordRing,
         store: DataStore,
         replication,

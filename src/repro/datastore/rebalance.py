@@ -36,15 +36,14 @@ from __future__ import annotations
 from typing import Optional, Set
 
 from repro.maintenance.cadence import AdaptiveCadence
-from repro.sim.network import RpcError
-from repro.sim.node import Node
+from repro.transport import Endpoint, RpcError
 
 #: Transfer keys forwarded verbatim from a ``ds_bulk_get`` response into the
 #: receiving peer's ``ds_bulk_put`` payload.
 _TRANSFER_KEYS = ("value", "range", "items", "join_via", "notify")
 
 
-class GlobalRebalancer(Node):
+class GlobalRebalancer(Endpoint):
     """A background coordinator that moves key ranges onto free peers."""
 
     def __init__(

@@ -24,7 +24,7 @@ from repro.datastore.ranges import CircularRange
 from repro.index.config import IndexConfig
 from repro.ring.chord import ChordRing, RingListener
 from repro.sim.locks import RWLock
-from repro.sim.node import Node
+from repro.transport import Endpoint
 
 
 class DataStore(RingListener):
@@ -32,7 +32,7 @@ class DataStore(RingListener):
 
     def __init__(
         self,
-        node: Node,
+        node: Endpoint,
         ring: ChordRing,
         config: IndexConfig,
         metrics=None,

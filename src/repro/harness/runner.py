@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.metrics import nearest_rank
 from repro.harness.scenarios import (
+    TransportSpec,
     get_scenario,
     get_suite,
     run_spec,
@@ -43,17 +44,26 @@ from repro.harness.scenarios import (
 )
 
 
-def run_cell(cell: Tuple[str, int] | Tuple[str, int, Optional[str]]) -> Dict[str, Any]:
-    """Execute one ``(scenario_name, seed[, engine])`` cell.  Top-level for picklability.
+def run_cell(
+    cell: Tuple[str, int]
+    | Tuple[str, int, Optional[str]]
+    | Tuple[str, int, Optional[str], Optional[str]],
+) -> Dict[str, Any]:
+    """Execute one ``(scenario_name, seed[, engine[, transport]])`` cell.
 
-    The optional third element overrides the spec's event engine ("heap" or
-    "wheel"); ``None`` keeps the spec's own selection.
+    Top-level for picklability.  The optional third element overrides the
+    spec's event engine ("heap" or "wheel"); the optional fourth overrides
+    its transport ("sim" or "asyncio").  ``None`` keeps the spec's own
+    selection in either slot.
     """
     name, seed = cell[0], cell[1]
     engine = cell[2] if len(cell) > 2 else None
+    transport = cell[3] if len(cell) > 3 else None
     spec = get_scenario(name)
     if engine is not None:
         spec = spec.with_(engine=engine)
+    if transport is not None:
+        spec = spec.with_(transport=TransportSpec(name=transport))
     return run_spec(spec, seed=seed).as_dict()
 
 
@@ -62,18 +72,20 @@ def run_cells(
     seeds: Sequence[int] = (0,),
     processes: Optional[int] = None,
     engine: Optional[str] = None,
+    transport: Optional[str] = None,
     profile_dir: Optional[str] = None,
 ) -> List[Dict[str, Any]]:
     """Run the cross product of ``names`` x ``seeds``, fanned across cores.
 
     ``processes=None`` sizes the pool to ``min(cells, cores)``; ``processes<=1``
     runs serially in-process (no pool overhead, simpler tracebacks).
-    ``engine`` overrides every cell's event engine.  ``profile_dir`` switches
-    to serial execution under cProfile and writes ``PROFILE_<scenario>.txt``
-    per scenario there (seeds of one scenario are merged into one profile).
+    ``engine`` / ``transport`` override every cell's event engine / transport.
+    ``profile_dir`` switches to serial execution under cProfile and writes
+    ``PROFILE_<scenario>.txt`` per scenario there (seeds of one scenario are
+    merged into one profile).
     """
-    cells = [(name, seed, engine) for name in names for seed in seeds]
-    for name, _seed, _engine in cells:
+    cells = [(name, seed, engine, transport) for name in names for seed in seeds]
+    for name, _seed, _engine, _transport in cells:
         get_scenario(name)  # fail fast on unknown names, before forking
     if profile_dir is not None:
         return _run_cells_profiled(cells, profile_dir)
@@ -89,7 +101,9 @@ def run_cells(
 _PROFILE_TOP = 20
 
 
-def _run_cells_profiled(cells: List[Tuple[str, int, Optional[str]]], out_dir: str) -> List[Dict[str, Any]]:
+def _run_cells_profiled(
+    cells: List[Tuple[str, int, Optional[str], Optional[str]]], out_dir: str
+) -> List[Dict[str, Any]]:
     """Serial cell execution under cProfile; one report per scenario.
 
     Multi-seed runs of the same scenario accumulate into a single profile, so
@@ -162,6 +176,10 @@ def _cells_summary(
     total_events = sum(cell["events_processed"] for cell in cells)
     summary = {
         "cells": len(cells),
+        # Which substrates executed the batch (normally one of each; mixed
+        # when a suite pairs sim and asyncio cells, e.g. localhost_fidelity).
+        "engines": sorted({cell["engine"] for cell in cells if "engine" in cell}),
+        "transports": sorted({cell["transport"] for cell in cells if "transport" in cell}),
         "total_wall_clock_s": round(total_wall, 3),
         "total_events_processed": total_events,
         "events_per_cell_wall_s": round(total_events / total_wall) if total_wall else 0,
@@ -335,17 +353,18 @@ def run_named(
     processes: Optional[int] = None,
     out_dir: Optional[str] = ".",
     engine: Optional[str] = None,
+    transport: Optional[str] = None,
     profile_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run a registered scenario, suite or figure by name; emit its BENCH json.
 
     Scenario and suite runs execute the full ``scenarios x seeds`` cross
     product and carry per-scenario aggregates; figure runs execute once per
-    seed offset (see :func:`_figure_seed`).  ``engine`` overrides every cell's
-    event engine; ``profile_dir`` captures per-scenario cProfile reports (see
-    :func:`run_cells`); neither applies to figures.  Returns the emitted
-    document (also written to ``BENCH_<name>.json`` unless ``out_dir`` is
-    ``None``).
+    seed offset (see :func:`_figure_seed`).  ``engine`` / ``transport``
+    override every cell's event engine / transport; ``profile_dir`` captures
+    per-scenario cProfile reports (see :func:`run_cells`); none of these
+    apply to figures.  Returns the emitted document (also written to
+    ``BENCH_<name>.json`` unless ``out_dir`` is ``None``).
     """
     from repro.harness.figures import ALL_FIGURES  # deferred: figures import the harness
 
@@ -358,6 +377,7 @@ def run_named(
             seeds=seeds,
             processes=processes,
             engine=engine,
+            transport=transport,
             profile_dir=profile_dir,
         )
         elapsed = time.perf_counter() - started
@@ -369,15 +389,22 @@ def run_named(
             "results": cells,
         }
     elif name in ALL_FIGURES:
-        if engine is not None or profile_dir is not None:
-            raise ValueError("--engine/--profile apply to scenarios and suites, not figures")
+        if engine is not None or transport is not None or profile_dir is not None:
+            raise ValueError(
+                "--engine/--transport/--profile apply to scenarios and suites, not figures"
+            )
         payload = _run_figure(name, seeds, processes)
         bench_name = name
     else:
         get_scenario(name)
         started = time.perf_counter()
         cells = run_cells(
-            [name], seeds=seeds, processes=processes, engine=engine, profile_dir=profile_dir
+            [name],
+            seeds=seeds,
+            processes=processes,
+            engine=engine,
+            transport=transport,
+            profile_dir=profile_dir,
         )
         elapsed = time.perf_counter() - started
         bench_name = name
@@ -389,6 +416,8 @@ def run_named(
         }
     if engine is not None:
         payload["engine_override"] = engine
+    if transport is not None:
+        payload["transport_override"] = transport
     if out_dir is not None:
         write_bench(bench_name, payload, out_dir=out_dir)
     return payload

@@ -47,6 +47,7 @@ from repro.sim.network import (
     LatencyModel,
     latency_model_from_params,
 )
+from repro.transport.api import TRANSPORT_NAMES
 from repro.workloads.churn import ChurnSchedule, flash_crowd_schedule
 
 __all__ = [
@@ -59,6 +60,7 @@ __all__ = [
     "ScenarioResult",
     "ScenarioSpec",
     "ScenarioSuite",
+    "TransportSpec",
     "WorkloadSpec",
     "build_experiment",
     "get_scenario",
@@ -121,6 +123,47 @@ class MaintenanceSpec:
 
 
 @dataclass(frozen=True)
+class TransportSpec:
+    """The execution substrate of a scenario (mirrors :class:`LatencySpec`).
+
+    ``name`` selects a registered transport:
+
+    * ``"sim"`` -- the seeded discrete-event simulator (deterministic;
+      latency/loss come from the spec's :class:`LatencySpec`);
+    * ``"asyncio"`` -- real UDP sockets on localhost with wall-clock periods
+      (latency comes from the real loopback path; one wall second per
+      scenario second).
+
+    ``None`` keeps whatever the resolved
+    :class:`~repro.index.config.IndexConfig` already carries (``"sim"`` by
+    default).  The ``REPRO_TRANSPORT`` environment variable and ``repro-run
+    --transport`` override the spec's choice for a whole process, exactly as
+    ``REPRO_ENGINE``/``--engine`` override the event engine.
+
+    >>> TransportSpec().resolve() is None
+    True
+    >>> TransportSpec(name="asyncio").resolve()
+    'asyncio'
+    >>> TransportSpec(name="carrier-pigeon").resolve()
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown transport 'carrier-pigeon'; known: sim, asyncio
+    """
+
+    name: Optional[str] = None
+
+    def resolve(self) -> Optional[str]:
+        """Validate and return the selected transport name, or ``None``."""
+        if self.name is None:
+            return None
+        if self.name not in TRANSPORT_NAMES:
+            raise ValueError(
+                f"unknown transport {self.name!r}; known: {', '.join(TRANSPORT_NAMES)}"
+            )
+        return self.name
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete, named description of one experiment cell.
 
@@ -153,6 +196,9 @@ class ScenarioSpec:
     # engine-independent; the REPRO_ENGINE environment variable overrides this
     # for the whole process.
     engine: str = "heap"
+    # Transport selection: in-sim (default) or real asyncio sockets; see
+    # :class:`TransportSpec`.  The ``engine`` field only applies under "sim".
+    transport: TransportSpec = TransportSpec()
 
     # -- derived -----------------------------------------------------------
     def index_config(self, seed: Optional[int] = None) -> IndexConfig:
@@ -174,6 +220,9 @@ class ScenarioSpec:
             # Only a non-default selection overrides the resolved config, so a
             # base_config that already picked an engine keeps it.
             config = config.copy(engine=self.engine)
+        transport_name = self.transport.resolve()
+        if transport_name is not None:
+            config = config.copy(transport=transport_name)
         if self.protocols == "pepper":
             config = config.with_pepper_protocols()
         elif self.protocols == "naive":
@@ -287,8 +336,11 @@ class ScenarioResult:
     # RPC count per method name -- the per-method profile the maintenance
     # ablations compare (e.g. ``ring_ping`` fixed vs. adaptive cadence).
     rpc_per_method: Dict[str, int] = field(default_factory=dict)
-    # Which event engine executed the cell ("heap" or "wheel").
+    # Which event engine executed the cell ("heap" or "wheel"; "asyncio"
+    # when the asyncio transport's wall-clock loop drove it).
     engine: str = "heap"
+    # Which transport carried the cell's messages ("sim" or "asyncio").
+    transport: str = "sim"
     # Scan-vs-store audit (see PRingIndex.reachability): copies a full scan
     # would return vs. copies stranded outside their holder's range.  The CI
     # bench gate asserts items_reachable == items_stored.
@@ -357,6 +409,18 @@ def run_spec(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResult:
     started = time.perf_counter()
     experiment = build_experiment(spec, seed)
     index = experiment.index
+    try:
+        return _run_spec_on(experiment, spec, seed, started)
+    finally:
+        # Release transport resources (asyncio sockets and loops; a no-op for
+        # the simulated transport) even when a phase raises.
+        index.shutdown()
+
+
+def _run_spec_on(
+    experiment: ClusterExperiment, spec: ScenarioSpec, seed: int, started: float
+) -> ScenarioResult:
+    index = experiment.index
     phase_results, outcomes, correlated = experiment.run_phases(
         spec.resolved_phases(), total_peers=spec.peers
     )
@@ -391,6 +455,7 @@ def run_spec(spec: ScenarioSpec, seed: Optional[int] = None) -> ScenarioResult:
         messages_sent=index.network.stats.messages_sent,
         rpc_per_method=dict(index.network.stats.per_method),
         engine=index.sim.engine_name,
+        transport=index.transport.name,
         items_reachable=audit.items_reachable,
         items_stranded=audit.items_stranded,
         queries_run=len(outcomes),
@@ -758,5 +823,105 @@ register_suite(
         scenarios=("scale_1000_wan", "scale_1000_wan_adaptive"),
         description="fixed vs. adaptive maintenance under 4-site WAN latency",
         bench_name="adaptive_wan",
+    )
+)
+
+# ---- localhost transport cells ----------------------------------------------
+# Real-network deployments: the same protocol code over asyncio UDP sockets on
+# 127.0.0.1, one wall-clock second per scenario second.  Each asyncio cell has
+# an in-sim twin differing in exactly the transport field, so the pair is the
+# sim-fidelity referee: run both, compare end states.
+#
+# The cells are *saturating* by design -- the item count (12 per peer) exceeds
+# the deployment's overflow capacity (10 per peer), so the split cascade must
+# recruit every free peer before the pressure can stop.  The converged end
+# state is therefore exact on both substrates regardless of message-timing
+# jitter: all peers in the ring, zero free.  Both phases use fixed settles
+# (never a quiescence gate), so the two transports run the same total
+# duration and the periodic-loop RPC volumes stay directly comparable (the
+# documented fidelity band is ±15% per method; see docs/SCENARIOS.md).
+def _localhost_spec(
+    name: str,
+    peers: int,
+    transport_name: str,
+    insert_rate: float,
+    grow_settle: float,
+    description: str,
+) -> ScenarioSpec:
+    items = peers * 12  # > overflow capacity (2 x storage factor = 10 per peer)
+    return ScenarioSpec(
+        name=name,
+        description=description,
+        peers=peers,
+        transport=TransportSpec(name=transport_name),
+        phases=(
+            PhaseSpec(
+                name="build",
+                description="join crowd + saturating item stream, failure-free",
+                arrivals=1,  # one staggered arrival; the crowd below brings the rest
+                arrival_period=1.0,
+                churn=ChurnSpec(
+                    flash_crowd_peers=peers - 2,
+                    flash_crowd_at=1.0,
+                    flash_crowd_spacing=0.05,
+                ),
+                workload=WorkloadSpec(items=items, insert_rate=insert_rate),
+                settle=5.0,
+            ),
+            PhaseSpec(
+                name="grow",
+                description="fixed settle window for the split cascade (no quiescence gate)",
+                settle=grow_settle,
+            ),
+        ),
+    )
+
+
+register(
+    _localhost_spec(
+        "localhost_20",
+        20,
+        "asyncio",
+        24.0,
+        30.0,
+        "20-peer cell over real asyncio UDP sockets (CI transport smoke, ~50 wall s)",
+    )
+)
+register(
+    _localhost_spec(
+        "localhost_20_sim",
+        20,
+        "sim",
+        24.0,
+        30.0,
+        "in-sim twin of localhost_20 (transport-fidelity reference)",
+    )
+)
+register(
+    _localhost_spec(
+        "localhost_100",
+        100,
+        "asyncio",
+        40.0,
+        45.0,
+        "100-peer cell over real asyncio UDP sockets on localhost (~80 wall s)",
+    )
+)
+register(
+    _localhost_spec(
+        "localhost_100_sim",
+        100,
+        "sim",
+        40.0,
+        45.0,
+        "in-sim twin of localhost_100 (transport-fidelity reference)",
+    )
+)
+register_suite(
+    ScenarioSuite(
+        name="localhost_fidelity",
+        scenarios=("localhost_100_sim", "localhost_100"),
+        description="the 100-peer sim/asyncio twin pair: the sim-fidelity referee (real wall-clock run)",
+        bench_name="localhost",
     )
 )

@@ -16,6 +16,7 @@ from typing import Optional
 from repro.maintenance.policy import FIXED_MAINTENANCE, MaintenancePolicy
 from repro.sim.engine import ENGINE_NAMES
 from repro.sim.network import NetworkConfig
+from repro.transport.api import TRANSPORT_NAMES
 
 
 @dataclass
@@ -84,6 +85,11 @@ class IndexConfig:
     # determinism contract; the REPRO_ENGINE environment variable overrides
     # this field for every deployment in the process (the CI parity knob).
     engine: str = "heap"
+    # Transport selection: "sim" (the discrete-event substrate above, the
+    # default) or "asyncio" (real UDP sockets on localhost with wall-clock
+    # periods).  The REPRO_TRANSPORT environment variable overrides this
+    # field, mirroring REPRO_ENGINE.  ``engine`` only applies under "sim".
+    transport: str = "sim"
 
     # --- derived / helpers -------------------------------------------------------
     @property
@@ -134,6 +140,10 @@ class IndexConfig:
         if self.engine not in ENGINE_NAMES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; known: {', '.join(ENGINE_NAMES)}"
+            )
+        if self.transport not in TRANSPORT_NAMES:
+            raise ValueError(
+                f"unknown transport {self.transport!r}; known: {', '.join(TRANSPORT_NAMES)}"
             )
         if self.maintenance is not None:
             self.maintenance.validate()

@@ -27,18 +27,16 @@ from repro.index.config import IndexConfig
 from repro.replication.cfs import ReplicationManager
 from repro.ring.chord import ChordRing
 from repro.router import make_router
-from repro.sim.network import Network
-from repro.sim.node import Node
-from repro.sim.engine import Simulator
+from repro.transport import Endpoint
 
 
-class IndexPeer(Node):
+class IndexPeer(Endpoint):
     """A full index peer (ring + data store + replication + router + queries)."""
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
+        sim,
+        network,
         address: str,
         value: float,
         config: IndexConfig,

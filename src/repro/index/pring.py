@@ -24,25 +24,29 @@ from repro.harness.metrics import Metrics
 from repro.index.config import IndexConfig, default_config
 from repro.index.membership import MembershipIndex
 from repro.index.peer import IndexPeer
-from repro.sim.engine import SimulationError, make_simulator
-from repro.sim.network import Network, RpcError
-from repro.sim.randomness import RngStreams
+from repro.sim.engine import SimulationError
+from repro.transport import RpcError, make_transport
 
 
 class PRingIndex:
-    """A simulated deployment of the index with the configured protocols."""
+    """A deployment of the index with the configured protocols.
+
+    The execution substrate -- clock, message plane, RNG streams -- comes
+    from the configured transport (``config.transport``): the seeded
+    discrete-event simulator by default, or real asyncio sockets on
+    localhost.  Everything above this composition root is substrate-blind.
+    """
 
     def __init__(self, config: Optional[IndexConfig] = None):
         self.config = config or default_config()
         self.config.validate()
-        self.sim = make_simulator(self.config.engine)
-        self.rngs = RngStreams(self.config.seed)
         self.metrics = Metrics()
         # The network observes intra- vs cross-site latency into the shared
         # collector when the configured latency model is site-aware.
-        self.network = Network(
-            self.sim, self.rngs.stream("network"), self.config.network, metrics=self.metrics
-        )
+        self.transport = make_transport(self.config, metrics=self.metrics)
+        self.sim = self.transport.clock
+        self.rngs = self.transport.rngs
+        self.network = self.transport.network
         self.history = HistoryRecorder(self.sim)
         self.pool = FreePeerPool(self.sim, self.network, address="pool")
         self.peers: Dict[str, IndexPeer] = {}
@@ -187,6 +191,14 @@ class PRingIndex:
     def run_process(self, generator, timeout: float = 600.0):
         """Run a simulated process to completion and return its value."""
         return self.sim.run_process(generator, timeout=timeout)
+
+    def shutdown(self) -> None:
+        """Release transport resources (sockets, loops).  Idempotent.
+
+        A no-op for the simulated transport; required after asyncio runs so
+        repeated deployments in one process don't leak file descriptors.
+        """
+        self.transport.shutdown()
 
     # ------------------------------------------------------------------ index API
     def _entry_peer(self, via: Optional[str] = None) -> IndexPeer:

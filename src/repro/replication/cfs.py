@@ -20,7 +20,7 @@ from repro.datastore.store import DataStore
 from repro.index.config import IndexConfig
 from repro.replication.extra_hop import push_items_one_extra_hop
 from repro.ring.chord import ChordRing, RingListener
-from repro.sim.node import Node
+from repro.transport import Endpoint
 
 
 class ReplicationManager(RingListener):
@@ -28,7 +28,7 @@ class ReplicationManager(RingListener):
 
     def __init__(
         self,
-        node: Node,
+        node: Endpoint,
         ring: ChordRing,
         store: DataStore,
         config: IndexConfig,

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Iterable, List
 
 from repro.datastore.items import Item, items_to_wire
-from repro.sim.network import RpcError
+from repro.transport import RpcError
 
 
 def push_items_one_extra_hop(node, ring, items: Iterable[Item], hops: int):

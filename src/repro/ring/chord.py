@@ -8,7 +8,7 @@ live successor, ping-based predecessor failure detection, and the naive
 The consistency-preserving PEPPER variants (Algorithms 1-2 and Section 5.1)
 live in :mod:`repro.core.pepper_ring` and subclass :class:`ChordRing`.
 
-A :class:`ChordRing` is a *component* attached to a :class:`~repro.sim.node.Node`;
+A :class:`ChordRing` is a *component* attached to a :class:`~repro.transport.endpoint.Endpoint`;
 it registers its message handlers on the node and exposes ring events to higher
 layers (the Data Store and Replication Manager) through :class:`RingListener`
 callbacks.
@@ -32,8 +32,7 @@ from repro.ring.entries import (
 )
 from repro.sim.engine import Interrupt
 from repro.sim.locks import RWLock
-from repro.sim.network import RpcError
-from repro.sim.node import Node
+from repro.transport import Endpoint, RpcError
 
 
 def in_open_interval(value: float, low: float, high: float) -> bool:
@@ -87,7 +86,7 @@ class ChordRing:
 
     def __init__(
         self,
-        node: Node,
+        node: Endpoint,
         value: float,
         config: IndexConfig,
         metrics=None,

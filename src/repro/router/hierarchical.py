@@ -22,7 +22,7 @@ from typing import List, Optional, Tuple
 from repro.index.config import IndexConfig
 from repro.ring.chord import RingListener
 from repro.router.linear import LinearRouter
-from repro.sim.network import RpcError
+from repro.transport import RpcError
 
 
 class _RefreshTightener(RingListener):

@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.index.config import IndexConfig
-from repro.sim.network import RpcError
+from repro.transport import RpcError
 
 
 class LinearRouter:

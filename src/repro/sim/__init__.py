@@ -25,7 +25,8 @@ The public surface is:
   :class:`~repro.sim.engine.Process` -- the primitives protocol code yields on.
 * :class:`~repro.sim.locks.RWLock` -- simulated read/write lock.
 * :class:`~repro.sim.network.Network` -- latency/loss model and RPC transport.
-* :class:`~repro.sim.node.Node` -- base class for simulated peers.
+* ``Node`` -- alias of :class:`repro.transport.endpoint.Endpoint`, the
+  transport-agnostic peer base class (kept importable from here).
 * :class:`~repro.sim.randomness.RngStreams` -- named, seeded RNG streams.
 """
 
@@ -52,7 +53,6 @@ from repro.sim.network import (
     RpcTimeout,
     RpcUnreachable,
 )
-from repro.sim.node import Node
 from repro.sim.randomness import RngStreams
 
 from repro.sim.wheel import WheelSimulator
@@ -81,3 +81,13 @@ __all__ = [
     "WheelSimulator",
     "make_simulator",
 ]
+
+
+def __getattr__(name):
+    # ``Node`` moved to ``repro.transport.endpoint`` (as ``Endpoint``); the
+    # alias is lazy because the transport package itself imports this one.
+    if name == "Node":
+        from repro.transport.endpoint import Endpoint
+
+        return Endpoint
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -48,33 +48,25 @@ Scalability notes
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.sim.engine import Event, Simulator
 
+# The RPC failure hierarchy, request record and stats counters are shared by
+# every transport; they live in the dependency-free contract module and are
+# re-exported here so historical ``repro.sim.network`` imports keep working.
+from repro.transport.api import (  # noqa: F401  (re-exported)
+    NetworkStats,
+    RpcError,
+    RpcRemoteError,
+    RpcRequest,
+    RpcTimeout,
+    RpcUnreachable,
+)
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
-    from repro.sim.node import Node
-
-
-class RpcError(Exception):
-    """Base class for RPC failures observed by callers."""
-
-
-class RpcTimeout(RpcError):
-    """The callee did not answer within the RPC timeout.
-
-    Seen when the callee has failed, left the system, or the request/reply was
-    dropped by the network.
-    """
-
-
-class RpcUnreachable(RpcError):
-    """The destination address was never registered with the network."""
-
-
-class RpcRemoteError(RpcError):
-    """The remote handler raised an exception; its repr is carried along."""
+    from repro.transport.endpoint import Endpoint as Node
 
 
 # --------------------------------------------------------------------------- latency models
@@ -246,22 +238,6 @@ class NetworkConfig:
             self.latency_model.validate()
 
 
-@dataclass(slots=True)
-class RpcRequest:
-    """A request in flight.  Exposed to handlers for tracing/diagnostics.
-
-    Request records are recycled once the reply has been transmitted (or the
-    destination turned out to be dead), so handlers must not retain one past
-    their own execution.
-    """
-
-    source: str
-    destination: str
-    method: str
-    payload: Any
-    request_id: int
-
-
 class _ReplyHandle:
     """The reply continuation handed to :meth:`Node._handle_rpc`.
 
@@ -285,34 +261,6 @@ class _ReplyHandle:
         self.request = self.result = self.timer = None
         net._reply_free.append(self)
         net._transmit_reply(request, result, timer, value, error)
-
-
-@dataclass
-class NetworkStats:
-    """Counters used by the experiment harness."""
-
-    messages_sent: int = 0
-    messages_dropped: int = 0
-    rpc_calls: int = 0
-    rpc_timeouts: int = 0
-    delivery_batches: int = 0
-    per_method: Dict[str, int] = field(default_factory=dict)
-    # RPCs per originating site (only populated under a LanWanLatency model).
-    per_site_rpcs: Dict[str, int] = field(default_factory=dict)
-    # Running sum/count of sampled one-way latencies (not populated under the
-    # constant-latency fast path, where the latency is known without sampling).
-    latency_sum: float = 0.0
-    latency_samples: int = 0
-
-    def record_call(self, method: str) -> None:
-        self.rpc_calls += 1
-        self.per_method[method] = self.per_method.get(method, 0) + 1
-
-    def mean_latency(self) -> Optional[float]:
-        """Mean sampled one-way latency, or ``None`` before any sample."""
-        if self.latency_samples == 0:
-            return None
-        return self.latency_sum / self.latency_samples
 
 
 # Metric series fed to an attached collector under a LanWanLatency model.

@@ -1,0 +1,57 @@
+"""Wire codec for the asyncio transport: JSON with tagged tuples.
+
+RPC payloads in this codebase are JSON-friendly by construction -- the wire
+helpers (``items_to_wire``, ``entries_to_wire``) emit lists of plain dicts --
+with one exception: tuples (key ranges, ``(address, value)`` pairs) appear
+inside payloads and must round-trip as tuples, because receivers use them as
+dict keys and unpack them positionally.  Plain JSON would flatten them into
+lists.  The codec therefore tags tuples as ``{"__tuple__": [...]}`` on encode
+and restores them on decode; every other JSON type passes through untouched.
+
+Dict keys must be strings (JSON's own rule).  ``json.dumps`` silently
+stringifies numeric keys, which would corrupt a payload on the way through a
+socket while the in-sim transport passed it by reference unchanged -- so the
+encoder rejects non-string keys loudly instead.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+_TUPLE_TAG = "__tuple__"
+
+
+def _pack(obj: Any) -> Any:
+    if isinstance(obj, tuple):
+        return {_TUPLE_TAG: [_pack(value) for value in obj]}
+    if isinstance(obj, list):
+        return [_pack(value) for value in obj]
+    if isinstance(obj, dict):
+        for key in obj:
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"wire payloads require string dict keys, got {key!r}"
+                )
+        return {key: _pack(value) for key, value in obj.items()}
+    return obj
+
+
+def _unpack(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if len(obj) == 1 and _TUPLE_TAG in obj:
+            return tuple(_unpack(value) for value in obj[_TUPLE_TAG])
+        return {key: _unpack(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [_unpack(value) for value in obj]
+    return obj
+
+
+def encode_message(message: dict) -> bytes:
+    """Encode one wire message (a flat dict of JSON-able fields) to bytes."""
+    return json.dumps(_pack(message), separators=(",", ":")).encode("utf-8")
+
+
+def decode_message(data: bytes) -> dict:
+    """Decode bytes produced by :func:`encode_message`."""
+    return _unpack(json.loads(data.decode("utf-8")))
