@@ -15,6 +15,8 @@ Examples::
     repro-run scale_1000 --profile   # cProfile capture -> PROFILE_scale_1000.txt
     repro-run localhost_20           # same protocols over real asyncio UDP sockets
     repro-run localhost_20_sim --transport asyncio   # transport override on any cell
+    repro-run scale_1000 --snapshot-dir .snapshots   # capture, then warm-start reruns
+    repro-run scale_1000 --snapshot-dir .snapshots --no-warm-start  # refresh the cache
 """
 
 from __future__ import annotations
@@ -122,6 +124,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run cells serially under cProfile; writes PROFILE_<scenario>.txt "
         "and prints the top functions by cumulative time",
     )
+    parser.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help="snapshot cache directory: cells capture their pre-boundary world "
+        "there and later runs warm-start from it (sim transport only)",
+    )
+    parser.add_argument(
+        "--no-warm-start",
+        action="store_true",
+        help="with --snapshot-dir: still capture snapshots but never resume "
+        "from one (force cold runs, e.g. to regenerate a cache)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or args.scenario is None:
@@ -154,6 +168,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             engine=args.engine,
             transport=args.transport,
             profile_dir=args.out_dir if args.profile else None,
+            snapshot_dir=args.snapshot_dir,
+            warm_start=False if args.no_warm_start else None,
         )
     except ValueError as error:
         print(str(error), file=sys.stderr)
@@ -168,6 +184,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"({cell['events_per_wall_s']:.0f}/s) ring={cell['ring_members']} "
                 f"items={cell['items_stored']}/{cell['items_requested']} "
                 f"reachable={cell.get('items_reachable', '?')}"
+                f"{' (warm start)' if cell.get('warm_start') else ''}"
             )
             for phase in cell.get("phases", ()):
                 timed_out = " START-TIMEOUT" if phase["start_timed_out"] else ""

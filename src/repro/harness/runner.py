@@ -47,24 +47,34 @@ from repro.harness.scenarios import (
 def run_cell(
     cell: Tuple[str, int]
     | Tuple[str, int, Optional[str]]
-    | Tuple[str, int, Optional[str], Optional[str]],
+    | Tuple[str, int, Optional[str], Optional[str]]
+    | Tuple[str, int, Optional[str], Optional[str], Optional[str]]
+    | Tuple[str, int, Optional[str], Optional[str], Optional[str], Optional[bool]],
 ) -> Dict[str, Any]:
-    """Execute one ``(scenario_name, seed[, engine[, transport]])`` cell.
+    """Execute one ``(scenario_name, seed[, engine[, transport[, snapshot_dir[,
+    warm_start]]]])`` cell.
 
     Top-level for picklability.  The optional third element overrides the
     spec's event engine ("heap" or "wheel"); the optional fourth overrides
-    its transport ("sim" or "asyncio").  ``None`` keeps the spec's own
-    selection in either slot.
+    its transport ("sim" or "asyncio"); the optional fifth points at a
+    snapshot cache directory (enabling capture + warm start, see
+    :func:`repro.harness.scenarios.run_spec`); the optional sixth overrides
+    the spec's ``warm_start`` flag.  ``None`` keeps the spec's own selection
+    in every slot.
     """
     name, seed = cell[0], cell[1]
     engine = cell[2] if len(cell) > 2 else None
     transport = cell[3] if len(cell) > 3 else None
+    snapshot_dir = cell[4] if len(cell) > 4 else None
+    warm_start = cell[5] if len(cell) > 5 else None
     spec = get_scenario(name)
     if engine is not None:
         spec = spec.with_(engine=engine)
     if transport is not None:
         spec = spec.with_(transport=TransportSpec(name=transport))
-    return run_spec(spec, seed=seed).as_dict()
+    return run_spec(
+        spec, seed=seed, snapshot_dir=snapshot_dir, warm_start=warm_start
+    ).as_dict()
 
 
 def run_cells(
@@ -74,6 +84,8 @@ def run_cells(
     engine: Optional[str] = None,
     transport: Optional[str] = None,
     profile_dir: Optional[str] = None,
+    snapshot_dir: Optional[str] = None,
+    warm_start: Optional[bool] = None,
 ) -> List[Dict[str, Any]]:
     """Run the cross product of ``names`` x ``seeds``, fanned across cores.
 
@@ -82,11 +94,18 @@ def run_cells(
     ``engine`` / ``transport`` override every cell's event engine / transport.
     ``profile_dir`` switches to serial execution under cProfile and writes
     ``PROFILE_<scenario>.txt`` per scenario there (seeds of one scenario are
-    merged into one profile).
+    merged into one profile).  ``snapshot_dir`` names the snapshot cache every
+    cell captures into and warm-starts from (snapshots are keyed per cell, so
+    the cross product shares one directory safely even across a process
+    pool); ``warm_start=False`` keeps capturing but forces cold runs.
     """
-    cells = [(name, seed, engine, transport) for name in names for seed in seeds]
-    for name, _seed, _engine, _transport in cells:
-        get_scenario(name)  # fail fast on unknown names, before forking
+    cells = [
+        (name, seed, engine, transport, snapshot_dir, warm_start)
+        for name in names
+        for seed in seeds
+    ]
+    for cell in cells:
+        get_scenario(cell[0])  # fail fast on unknown names, before forking
     if profile_dir is not None:
         return _run_cells_profiled(cells, profile_dir)
     if processes is None:
@@ -101,9 +120,7 @@ def run_cells(
 _PROFILE_TOP = 20
 
 
-def _run_cells_profiled(
-    cells: List[Tuple[str, int, Optional[str], Optional[str]]], out_dir: str
-) -> List[Dict[str, Any]]:
+def _run_cells_profiled(cells: List[Tuple], out_dir: str) -> List[Dict[str, Any]]:
     """Serial cell execution under cProfile; one report per scenario.
 
     Multi-seed runs of the same scenario accumulate into a single profile, so
@@ -355,6 +372,8 @@ def run_named(
     engine: Optional[str] = None,
     transport: Optional[str] = None,
     profile_dir: Optional[str] = None,
+    snapshot_dir: Optional[str] = None,
+    warm_start: Optional[bool] = None,
 ) -> Dict[str, Any]:
     """Run a registered scenario, suite or figure by name; emit its BENCH json.
 
@@ -362,7 +381,8 @@ def run_named(
     product and carry per-scenario aggregates; figure runs execute once per
     seed offset (see :func:`_figure_seed`).  ``engine`` / ``transport``
     override every cell's event engine / transport; ``profile_dir`` captures
-    per-scenario cProfile reports (see :func:`run_cells`); none of these
+    per-scenario cProfile reports; ``snapshot_dir`` / ``warm_start`` enable
+    the snapshot cache for every cell (see :func:`run_cells`); none of these
     apply to figures.  Returns the emitted document (also written to
     ``BENCH_<name>.json`` unless ``out_dir`` is ``None``).
     """
@@ -379,6 +399,8 @@ def run_named(
             engine=engine,
             transport=transport,
             profile_dir=profile_dir,
+            snapshot_dir=snapshot_dir,
+            warm_start=warm_start,
         )
         elapsed = time.perf_counter() - started
         bench_name = suite.bench_name or suite.name
@@ -389,9 +411,15 @@ def run_named(
             "results": cells,
         }
     elif name in ALL_FIGURES:
-        if engine is not None or transport is not None or profile_dir is not None:
+        if (
+            engine is not None
+            or transport is not None
+            or profile_dir is not None
+            or snapshot_dir is not None
+        ):
             raise ValueError(
-                "--engine/--transport/--profile apply to scenarios and suites, not figures"
+                "--engine/--transport/--profile/--snapshot-dir apply to scenarios "
+                "and suites, not figures"
             )
         payload = _run_figure(name, seeds, processes)
         bench_name = name
@@ -405,6 +433,8 @@ def run_named(
             engine=engine,
             transport=transport,
             profile_dir=profile_dir,
+            snapshot_dir=snapshot_dir,
+            warm_start=warm_start,
         )
         elapsed = time.perf_counter() - started
         bench_name = name
@@ -418,6 +448,11 @@ def run_named(
         payload["engine_override"] = engine
     if transport is not None:
         payload["transport_override"] = transport
+    if snapshot_dir is not None:
+        payload["snapshot_dir"] = snapshot_dir
+        payload["warm_started_cells"] = sum(
+            1 for cell in payload.get("results", ()) if cell.get("warm_start")
+        )
     if out_dir is not None:
         write_bench(bench_name, payload, out_dir=out_dir)
     return payload

@@ -310,6 +310,59 @@ class WheelSimulator(Simulator):
                 heapq.heapify(overflow)
         self._cancelled = 0
 
+    # -- introspection -------------------------------------------------------
+    def next_timed_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest live record anywhere in the wheel.
+
+        Snapshot-barrier support (not a hot path): scans the pending near
+        list, every level bucket and the overflow heap for the minimum live
+        ``record[0]``.  The near list is (time, seq)-sorted so its first live
+        record is its minimum; buckets are unsorted and scanned in full.
+        """
+        best: Optional[float] = None
+        for record in self._near[self._near_pos :]:
+            if record[2] is not None:
+                best = record[0]
+                break
+        for level in self._levels:
+            for bucket in level:
+                for record in bucket:
+                    if record[2] is not None and (best is None or record[0] < best):
+                        best = record[0]
+        for record in self._overflow:
+            if record[2] is not None and (best is None or record[0] < best):
+                best = record[0]
+        return best
+
+    def live_timer_count(self) -> int:
+        """Number of pending (non-tombstoned) records filed anywhere."""
+        return self._resident() - self._cancelled
+
+    def iter_timers(self):
+        """Yield every live record as ``(time, seq, func, arg)`` (unordered)."""
+        for record in self._near[self._near_pos :]:
+            if record[2] is not None:
+                yield record[0], record[1], record[2], record[3]
+        for level in self._levels:
+            for bucket in level:
+                for record in bucket:
+                    if record[2] is not None:
+                        yield record[0], record[1], record[2], record[3]
+        for record in self._overflow:
+            if record[2] is not None:
+                yield record[0], record[1], record[2], record[3]
+
+    def advance_idle(self, time: float) -> None:
+        """Jump the clock on an idle wheel; the cursor follows the clock.
+
+        Without the cursor jump, every record placed after a restore would
+        compute its slot from tick 0 and land in the coarse levels or the
+        overflow heap -- correct but slow.  With it, placement deltas are
+        relative to the restored instant, exactly as after a normal harvest.
+        """
+        super().advance_idle(time)
+        self._tick = int(time * _INV_RESOLUTION)
+
     # -- wheel advancement ---------------------------------------------------
     def _next_slot_tick(self, level: int) -> Optional[int]:
         """Absolute tick of this level's next occupied slot, or ``None``."""

@@ -1,0 +1,196 @@
+"""The parked-instant barrier: step the world to a capturable instant.
+
+A phase boundary leaves the deployment *quiescent* (no joins or splits in
+flight) but not *parked*: RPC round-trips may still be mid-flight, a
+maintenance round may be mid-action, a protocol step may be sleeping on a
+timer.  Serialising such a world would mean serialising continuations --
+live generator frames -- which is where snapshot designs go to die.
+
+Instead the barrier advances the simulation one timed instant at a time until
+the world is **parked**: every live timer in the engine is accounted for as
+either the sleep timer of a periodic maintenance loop between rounds
+(captured as plain data by the loop registry,
+:class:`repro.transport.endpoint.PeriodicLoop`) or an *inert straggler* -- the
+losing timeout of an already-decided race (a join that succeeded before its
+give-up deadline, a split acknowledged before its watchdog fired).  A
+straggler's only remaining effect is to bump the event counter when it fires,
+so it is captured as ``(time, callback count)`` and restored as a no-op timer
+with the same firing cost.  Anything else pending -- an in-flight message, a
+protocol sleep, a timer whose callback could still *do* something -- blocks
+the capture and the stepping continues.
+
+Maintenance periods are seconds apart while RPC round-trips are milliseconds,
+so parked instants occur naturally many times per simulated second; the bound
+exists only for pathological worlds (a split cascade that never drains), where
+the caller simply skips capturing and continues cold.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.sim.engine import Event, _fire_event, _fire_timeout
+
+#: Default simulated-seconds bound on the stepping search.
+PARK_HORIZON = 30.0
+
+
+def inert_callback(_event) -> None:
+    """The no-op a restored straggler carries per captured callback.
+
+    Exists (rather than a lambda) so the inertness classifier can recognise
+    restored stragglers by identity when a warm world is captured again.
+    """
+
+
+def _loop_endpoints(index):
+    """Every endpoint owning periodic loops: live peers + the rebalancer.
+
+    The free-peer pool is a pure RPC directory (no loops); dead peers' loops
+    no longer tick (their processes were interrupted), and any sleep timer a
+    dead peer left behind fails the inertness check below -- its callback is
+    a process resume, not a decided race -- so such worlds simply never park
+    until the straggler fires.
+    """
+    yield from index.membership.live_peers()
+    if index.rebalancer is not None:
+        yield index.rebalancer
+
+
+def _sleeping_loop_keys(index) -> Optional[Set[Tuple[float, int]]]:
+    """The ``(next_fire, arm_seq)`` keys of all sleeping loops.
+
+    ``None`` when some loop is mid-round (executing its action rather than
+    sleeping) -- the world cannot be parked then.
+    """
+    keys: Set[Tuple[float, int]] = set()
+    for endpoint in _loop_endpoints(index):
+        for record in endpoint._loops:
+            process = record.process
+            if process is None or not process.alive:
+                continue
+            if record.in_round:
+                return None
+            keys.add((record.next_fire, record.arm_seq))
+    return keys
+
+
+def _inert_callback_count(event) -> Optional[int]:
+    """How many no-op firings this event's callbacks amount to, else ``None``.
+
+    A callback is provably inert in exactly two shapes: the sentinel
+    :func:`inert_callback` a previous restore attached, or a race-condition
+    closure (``AnyOf``/``AllOf`` style) over a single owning :class:`Event`
+    that has already triggered -- its first statement is a triggered-check
+    and return.  A process resume, or a closure over a still-pending
+    condition, could do real work and returns ``None`` (not inert).
+    """
+    callbacks = event.callbacks
+    if not callbacks:
+        return 0
+    for callback in callbacks:
+        if callback is inert_callback:
+            continue
+        cells = getattr(callback, "__closure__", None)
+        if not cells:
+            return None
+        try:
+            owners = [
+                cell.cell_contents
+                for cell in cells
+                if isinstance(cell.cell_contents, Event)
+            ]
+        except ValueError:  # an empty cell: not a shape we can prove inert
+            return None
+        if len(owners) != 1 or not owners[0].triggered:
+            return None
+    return len(callbacks)
+
+
+def classify_timers(index) -> Optional[List[Tuple[float, int, int]]]:
+    """Split pending timers into loop sleeps and inert stragglers.
+
+    Returns the stragglers as ``(time, seq, callback_count)`` triples when
+    *every* live timer is one or the other, else ``None`` (some timer still
+    represents real pending work and the world is not parked).
+    """
+    loop_keys = _sleeping_loop_keys(index)
+    if loop_keys is None:
+        return None
+    strays: List[Tuple[float, int, int]] = []
+    for time, seq, func, arg in index.sim.iter_timers():
+        if (time, seq) in loop_keys:
+            continue
+        if (func is not _fire_timeout and func is not _fire_event) or not isinstance(
+            arg, Event
+        ):
+            return None
+        count = _inert_callback_count(arg)
+        if count is None:
+            return None
+        strays.append((time, seq, count))
+    return strays
+
+
+def world_parked(index) -> bool:
+    """Whether the deployment is at a parked instant (see module doc)."""
+    network = index.network
+    # In-flight messages: the network batches every pending delivery under its
+    # absolute delivery instant.
+    if network._batches:
+        return False
+    if index.membership.in_flight_count() != 0:
+        return False
+    if index.split_pressure():
+        return False
+    # The timer census: every live timer is a sleeping loop or an inert
+    # straggler.  This one pass catches everything that is not a dedicated
+    # check -- pending RPC expiries, driver timeouts, protocol sleeps.
+    if classify_timers(index) is None:
+        return False
+
+    # Cheap insurance on protocol bookkeeping the census cannot see (state
+    # held in fields rather than timers).  All of these are implied by the
+    # census in the current protocols; asserting them directly keeps the
+    # barrier honest if a future protocol parks state without a timer.
+    for peer in index.membership.live_peers():
+        balancer = peer.balancer
+        if balancer._balancing or balancer._pending_split is not None:
+            return False
+        ring = peer.ring
+        if getattr(ring, "_pending_insert", None) is not None:
+            return False
+        if getattr(ring, "_leave_ack_event", None) is not None:
+            return False
+        if peer.queries._pending:
+            return False
+    return True
+
+
+def reach_parked_state(experiment, max_sim_seconds: float = PARK_HORIZON) -> bool:
+    """Step to the next parked instant; ``False`` if none within the bound.
+
+    Stepping runs ``sim.run(until=<next timed instant>)`` repeatedly, so the
+    world advances exactly as a straight-through run would -- the barrier
+    changes *when* the capture happens, never *what* the world does.  On
+    ``False`` the caller continues cold without capturing.
+    """
+    index = experiment.index
+    sim = index.sim
+    deadline = sim.now + max_sim_seconds
+    while True:
+        if world_parked(index):
+            return True
+        upcoming = sim.next_timed_event_time()
+        if upcoming is None or upcoming > deadline:
+            return False
+        sim.run(until=upcoming)
+
+
+__all__ = [
+    "PARK_HORIZON",
+    "classify_timers",
+    "inert_callback",
+    "reach_parked_state",
+    "world_parked",
+]

@@ -1,0 +1,96 @@
+"""Capture a parked world into one JSON-safe state dict.
+
+The capture runs at a *parked* instant (see :mod:`repro.snapshot.barrier`):
+every pending obligation in the deployment is a sleeping periodic loop, so the
+complete continuation state is the loop registry plus plain component fields.
+Dead peers are not serialised -- the network treats an unregistered address
+exactly like a dead one, and nothing in the index iterates over dead entries
+-- so a restored world simply never knew them (their stale sleep timers have
+already fired by the time the barrier admits a capture).
+
+The ``harness`` section carries the driver-level results of the pre-boundary
+phases so a warm run can splice them into its report: phase records as plain
+dicts, query outcomes reduced to their scalar fields (the per-key lists and
+:class:`~repro.core.correctness.QueryRecord` cross-checks of old queries are
+not needed to *continue* a run; the authoritative query log lives in
+``query_records``).
+"""
+
+from __future__ import annotations
+
+from repro.snapshot.barrier import classify_timers
+from repro.snapshot.codec import encode_peer, encode_rng_state, encode_stats
+
+
+def capture_world(
+    experiment,
+    phase_results=(),
+    outcomes=(),
+    victims=(),
+) -> dict:
+    """Serialise ``experiment``'s world at the current (parked) instant."""
+    index = experiment.index
+    sim = index.sim
+    membership = index.membership
+    network = index.network
+
+    strays = classify_timers(index)
+    if strays is None:
+        raise RuntimeError("capture_world called on a world that is not parked")
+
+    live_order = list(membership._live)
+    loops = []
+    endpoints = [membership._live[address] for address in live_order]
+    if index.rebalancer is not None:
+        endpoints.append(index.rebalancer)
+    for endpoint in endpoints:
+        for record in endpoint._loops:
+            process = record.process
+            if process is None or not process.alive or record.next_fire is None:
+                continue
+            loops.append([endpoint.address, record.name, record.next_fire, record.arm_seq])
+
+    return {
+        "sim": {"now": sim.now, "events_processed": sim.events_processed},
+        "rngs": {
+            name: encode_rng_state(stream.getstate())
+            for name, stream in index.rngs._streams.items()
+        },
+        "stats": encode_stats(network.stats),
+        "next_request_id": network._next_request_id,
+        "pool_free": list(index.pool._free),
+        "next_peer": index._next_peer,
+        "peers": [encode_peer(membership._live[address]) for address in live_order],
+        "membership": {
+            "free_order": list(membership._free),
+            "members_order": list(membership._members),
+            "member_value": [
+                [address, value] for address, value in membership._member_value.items()
+            ],
+            "transition_count": membership.transition_count,
+        },
+        "loops": loops,
+        # Inert stragglers (see repro.snapshot.barrier): each fires as a pure
+        # event-counter bump of 1 + callback_count, reproduced at restore by
+        # a bare timer carrying that many no-op callbacks.
+        "strays": [
+            [time, count] for time, _seq, count in sorted(strays, key=lambda s: (s[0], s[1]))
+        ],
+        "metrics": {name: list(values) for name, values in index.metrics._series.items()},
+        "inserted_keys": list(experiment.inserted_keys),
+        "deleted_keys": list(experiment.deleted_keys),
+        "query_records": [
+            [record.lb, record.ub, record.start_time, record.end_time, list(record.result_keys)]
+            for record in index.query_records
+        ],
+        "harness": {
+            "phase_results": [result.as_dict() for result in phase_results],
+            "outcomes": [
+                [o.lb, o.ub, o.hops, o.elapsed, o.scan_elapsed, o.complete] for o in outcomes
+            ],
+            "victims": list(victims),
+        },
+    }
+
+
+__all__ = ["capture_world"]

@@ -1,0 +1,305 @@
+"""Per-component encode/decode between live world state and JSON-safe dicts.
+
+Every encoder produces plain lists/dicts/scalars (JSON round-trips Python
+floats exactly via ``repr`` shortest-round-trip, so no precision is lost);
+every decoder writes the captured values straight back onto a freshly
+constructed component through *direct field writes* -- never through the
+mutation APIs (``store_local``, ``_set_state``, ``track``...), whose side
+effects (overflow callbacks, membership notifications, history records)
+already happened before the snapshot was taken and must not happen again.
+
+Two representation rules keep the format unambiguous:
+
+* dicts with non-string keys (float skv maps, ``(value, stamp)`` tuples) are
+  serialised as pair *lists* in insertion order -- JSON objects would coerce
+  the keys to strings and lose the ordering guarantee;
+* ``None`` consistently means "this sub-component is absent/stateless on this
+  configuration" (no redirect cache, fixed cadence, inactive store range).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.datastore.items import Item, ItemStore
+from repro.datastore.ranges import CircularRange
+from repro.maintenance.cadence import AdaptiveCadence
+from repro.ring.entries import SuccessorEntry
+
+# ------------------------------------------------------------------ RNG streams
+
+
+def encode_rng_state(state: tuple) -> list:
+    """``random.Random.getstate()`` -> JSON list (version, key tuple, gauss)."""
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def decode_rng_state(data: list) -> tuple:
+    """Inverse of :func:`encode_rng_state` (exact: ints and None survive JSON)."""
+    version, internal, gauss_next = data
+    return (version, tuple(internal), gauss_next)
+
+
+# ------------------------------------------------------------------ item stores
+
+
+def encode_item_store(store: ItemStore) -> dict:
+    """Items in key order plus the mutation counter observers compare."""
+    return {
+        "items": [[item.skv, item.payload] for item in store.all_items()],
+        "version": store.version,
+    }
+
+
+def decode_item_store(data: dict, store: ItemStore) -> None:
+    """Refill ``store`` in place; ``version`` is restored *after* the adds
+
+    (each ``add`` bumps it) so replication-refresh fingerprints that compare
+    against the captured counter still match.
+    """
+    for skv, payload in data["items"]:
+        store.add(Item(skv=skv, payload=payload))
+    store.version = data["version"]
+
+
+# ------------------------------------------------------------------ ranges / cadences
+
+
+def encode_range(crange: Optional[CircularRange]) -> Optional[list]:
+    return None if crange is None else [crange.low, crange.high, crange.full]
+
+
+def decode_range(data: Optional[list]) -> Optional[CircularRange]:
+    return None if data is None else CircularRange(data[0], data[1], full=bool(data[2]))
+
+
+def encode_cadence(cadence) -> Optional[list]:
+    """Adaptive controllers carry state; fixed/RTT-scaled ones are pure."""
+    if isinstance(cadence, AdaptiveCadence):
+        return [cadence._interval, cadence._successes]
+    return None
+
+
+def decode_cadence(data: Optional[list], cadence) -> None:
+    if data is not None and isinstance(cadence, AdaptiveCadence):
+        cadence._interval = data[0]
+        cadence._successes = data[1]
+
+
+# ------------------------------------------------------------------ ring
+
+
+def encode_ring(ring) -> dict:
+    redirect_cache = ring._redirect_cache
+    state: Dict[str, Any] = {
+        "value": ring.value,
+        "state": ring.state,
+        "succ_list": [
+            [entry.address, entry.value, entry.state, entry.stabilized]
+            for entry in ring.succ_list
+        ],
+        "pred_address": ring.pred_address,
+        "pred_value": ring.pred_value,
+        "heard_from": [[address, stamp] for address, stamp in ring._heard_from.items()],
+        "confirmed_at": [
+            [address, stamp] for address, stamp in ring._confirmed_at.items()
+        ],
+        "redirect_cache": (
+            None
+            if redirect_cache is None
+            else [
+                [address, value, stamp]
+                for address, (value, stamp) in redirect_cache._entries.items()
+            ]
+        ),
+        "succ_cadence": encode_cadence(ring._succ_cadence),
+        "maintenance_started": ring._maintenance_started,
+        "joined": ring._joined_event.triggered,
+    }
+    last_received = getattr(ring, "_last_received_addresses", None)
+    state["last_received"] = None if last_received is None else sorted(last_received)
+    rider_seen = getattr(ring, "_rider_seen", None)  # PepperRing only
+    if rider_seen is not None:
+        state["rider_seen"] = [[address, stamp] for address, stamp in rider_seen.items()]
+    return state
+
+
+def decode_ring(data: dict, ring) -> None:
+    """Direct field writes: membership/listeners are rebuilt separately."""
+    ring.value = data["value"]
+    ring.state = data["state"]
+    ring.succ_list = [
+        SuccessorEntry(address, value, state, stabilized)
+        for address, value, state, stabilized in data["succ_list"]
+    ]
+    ring.pred_address = data["pred_address"]
+    ring.pred_value = data["pred_value"]
+    ring._heard_from = {address: stamp for address, stamp in data["heard_from"]}
+    ring._confirmed_at = {address: stamp for address, stamp in data["confirmed_at"]}
+    if data["redirect_cache"] is not None and ring._redirect_cache is not None:
+        entries = ring._redirect_cache._entries
+        entries.clear()
+        for address, value, stamp in data["redirect_cache"]:
+            entries[address] = (value, stamp)
+    decode_cadence(data["succ_cadence"], ring._succ_cadence)
+    if data["last_received"] is not None:
+        ring._last_received_addresses = set(data["last_received"])
+    if data.get("rider_seen") is not None and hasattr(ring, "_rider_seen"):
+        ring._rider_seen = {address: stamp for address, stamp in data["rider_seen"]}
+    # _maintenance_started and _joined_event are restored by the world-level
+    # restore (arming the maintenance loops needs the defer context).
+
+
+# ------------------------------------------------------------------ data store
+
+
+def encode_datastore(store) -> dict:
+    return {
+        "active": store.active,
+        "range": encode_range(store.range),
+        "store": encode_item_store(store.items),
+    }
+
+
+def decode_datastore(data: dict, store) -> None:
+    store.active = data["active"]
+    store.range = decode_range(data["range"])
+    decode_item_store(data["store"], store.items)
+
+
+# ------------------------------------------------------------------ replication
+
+
+def encode_replication(replication) -> dict:
+    return {
+        "replicas": encode_item_store(replication.replicas),
+        "freshness": [[skv, stamp] for skv, stamp in replication._freshness.items()],
+        "tombstones": [[skv, stamp] for skv, stamp in replication._tombstones.items()],
+        "last_push": (
+            [replication._last_push[0], list(replication._last_push[1])]
+            if replication._last_push
+            else None
+        ),
+        "pushes_skipped": replication._pushes_skipped,
+    }
+
+
+def decode_replication(data: dict, replication) -> None:
+    decode_item_store(data["replicas"], replication.replicas)
+    replication._freshness = {skv: stamp for skv, stamp in data["freshness"]}
+    replication._tombstones = {skv: stamp for skv, stamp in data["tombstones"]}
+    last_push = data["last_push"]
+    replication._last_push = () if last_push is None else (last_push[0], tuple(last_push[1]))
+    replication._pushes_skipped = data["pushes_skipped"]
+
+
+# ------------------------------------------------------------------ router / balancer / queries
+
+
+def encode_router(router) -> dict:
+    """Hierarchical routers carry a table + cadence; the linear one is pure."""
+    table = getattr(router, "table", None)
+    return {
+        "table": None if table is None else [[address, value] for address, value in table],
+        "cadence": encode_cadence(getattr(router, "_cadence", None)),
+    }
+
+
+def decode_router(data: dict, router) -> None:
+    if data["table"] is not None and hasattr(router, "table"):
+        router.table = [(address, value) for address, value in data["table"]]
+    cadence = getattr(router, "_cadence", None)
+    if cadence is not None:
+        decode_cadence(data["cadence"], cadence)
+
+
+def encode_balancer(balancer) -> dict:
+    """Only the between-rounds state; a parked world has no split in flight."""
+    return {
+        "defer_until": balancer._defer_until,
+        "defer_cadence": encode_cadence(balancer._defer_cadence),
+    }
+
+
+def decode_balancer(data: dict, balancer) -> None:
+    balancer._defer_until = data["defer_until"]
+    decode_cadence(data["defer_cadence"], balancer._defer_cadence)
+
+
+# ------------------------------------------------------------------ whole peer
+
+
+def encode_peer(peer) -> dict:
+    return {
+        "address": peer.address,
+        "ring": encode_ring(peer.ring),
+        "store": encode_datastore(peer.store),
+        "replication": encode_replication(peer.replication),
+        "router": encode_router(peer.router),
+        "balancer": encode_balancer(peer.balancer),
+        "next_query": peer.queries._next_query,
+    }
+
+
+def decode_peer_components(data: dict, peer) -> None:
+    """Everything except loop arming and membership wiring (world-level)."""
+    decode_ring(data["ring"], peer.ring)
+    decode_datastore(data["store"], peer.store)
+    decode_replication(data["replication"], peer.replication)
+    decode_router(data["router"], peer.router)
+    decode_balancer(data["balancer"], peer.balancer)
+    peer.queries._next_query = data["next_query"]
+
+
+# ------------------------------------------------------------------ network stats
+
+_STATS_SCALARS = (
+    "messages_sent",
+    "messages_dropped",
+    "rpc_calls",
+    "rpc_timeouts",
+    "delivery_batches",
+    "latency_sum",
+    "latency_samples",
+)
+
+
+def encode_stats(stats) -> dict:
+    data = {name: getattr(stats, name) for name in _STATS_SCALARS}
+    data["per_method"] = dict(stats.per_method)
+    data["per_site_rpcs"] = dict(stats.per_site_rpcs)
+    return data
+
+
+def decode_stats(data: dict, stats) -> None:
+    for name in _STATS_SCALARS:
+        setattr(stats, name, data[name])
+    stats.per_method = dict(data["per_method"])
+    stats.per_site_rpcs = dict(data["per_site_rpcs"])
+
+
+__all__ = [
+    "decode_balancer",
+    "decode_cadence",
+    "decode_datastore",
+    "decode_item_store",
+    "decode_peer_components",
+    "decode_range",
+    "decode_replication",
+    "decode_ring",
+    "decode_rng_state",
+    "decode_router",
+    "decode_stats",
+    "encode_balancer",
+    "encode_cadence",
+    "encode_datastore",
+    "encode_item_store",
+    "encode_peer",
+    "encode_range",
+    "encode_replication",
+    "encode_ring",
+    "encode_rng_state",
+    "encode_router",
+    "encode_stats",
+]

@@ -1,0 +1,184 @@
+"""Rebuild a live world from a captured state dict, exactly.
+
+The restore rebuilds by *construction + overwrite*, never by replay: a fresh
+(but empty) experiment is materialised with every periodic-loop arming
+deferred, the clock jumps to the captured instant, peers are constructed in
+their captured creation order and their component fields overwritten from the
+snapshot, and finally the deferred loops are armed in the captured
+``(next_fire, arm_seq)`` order so same-instant wakeups keep their captured
+tie-break (the engine hands out fresh sequence numbers in arm order, and every
+timer armed *after* the restore draws a larger one in both worlds).
+
+Two engine-level fixups make the parity exact rather than approximate:
+
+* arming N loops spawns N processes, and each process start is itself one
+  ready-queue event -- so after arming, one ``run(until=T)`` drains exactly
+  those N loop-start steps (each parks on its future wakeup timer and yields;
+  nothing else is runnable at a parked instant) and ``events_processed`` is
+  then overwritten with the captured total;
+* the RNG streams are restored *after* peer construction, because creating a
+  stream seeds it (:meth:`RngStreams.stream`) while ``setstate`` replaces
+  that seed wholesale.
+
+Dead peers were not captured and are not rebuilt: the transports treat an
+unknown address exactly like a dead one, so the restored world is
+indistinguishable from one that merely never allocated them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.correctness import QueryRecord
+from repro.index.peer import IndexPeer
+from repro.snapshot.barrier import inert_callback
+from repro.snapshot.codec import (
+    decode_peer_components,
+    decode_rng_state,
+    decode_stats,
+)
+from repro.transport.endpoint import defer_periodic_loops
+
+
+class SnapshotRestoreError(RuntimeError):
+    """The snapshot disagrees with the world the spec builds (e.g. the loop
+    inventory changed); the caller falls back to a cold run."""
+
+
+def restore_world(spec, seed: int, state: dict):
+    """A :class:`ClusterExperiment` whose world *is* the captured one.
+
+    Raises :class:`SnapshotRestoreError` on any structural disagreement
+    between the snapshot and the freshly built experiment.
+    """
+    from repro.harness.scenarios import build_experiment  # late: avoid import cycle
+
+    with defer_periodic_loops() as deferred:
+        experiment = build_experiment(spec, seed)
+        index = experiment.index
+        sim = index.sim
+        captured_now = state["sim"]["now"]
+        sim.advance_idle(captured_now)
+
+        # Peers, in captured creation (= _live) order.  Constructing an
+        # endpoint registers it on the network; its loop armings land in
+        # ``deferred``.  Component state is overwritten wholesale afterwards.
+        membership = index.membership
+        peers = []
+        for data in state["peers"]:
+            address = data["address"]
+            peer = IndexPeer(
+                sim=sim,
+                network=index.network,
+                address=address,
+                value=data["ring"]["value"],
+                config=index.config,
+                rng=index.rngs.stream(f"peer:{address}"),
+                pool_address=index.pool.address,
+                metrics=index.metrics,
+                history=index.history,
+            )
+            index.peers[address] = peer
+            decode_peer_components(data, peer)
+            peer.ring.membership = membership
+            peers.append(peer)
+        index._next_peer = state["next_peer"]
+        index._bootstrapped = True
+
+        # Membership sets: rebuilt directly in their captured insertion orders
+        # (free_peers()/live_peers() iterate them).  The sorted member list is
+        # order-independent by construction; nothing is in flight when parked.
+        by_address = {peer.address: peer for peer in peers}
+        m = state["membership"]
+        membership._live = dict(by_address)
+        membership._free = {address: by_address[address] for address in m["free_order"]}
+        membership._members = {address: by_address[address] for address in m["members_order"]}
+        membership._member_value = {address: value for address, value in m["member_value"]}
+        membership._sorted = sorted(
+            (value, address) for address, value in membership._member_value.items()
+        )
+        membership._in_flight = {}
+        membership.transition_count = m["transition_count"]
+
+        # Ring lifecycle machinery that decode_ring left alone: maintenance
+        # loops (their armings must land in ``deferred``) and the joined
+        # event (succeeding an event nobody waits on touches no queues).
+        for data, peer in zip(state["peers"], peers):
+            if data["ring"]["maintenance_started"]:
+                peer.ring._start_maintenance()
+            if data["ring"]["joined"]:
+                peer.ring._joined_event.succeed(peer.address)
+
+        # RNG streams last (see module doc); stream() creates missing ones.
+        for name, encoded in state["rngs"].items():
+            index.rngs.stream(name).setstate(decode_rng_state(encoded))
+
+        decode_stats(state["stats"], index.network.stats)
+        index.network._next_request_id = state["next_request_id"]
+        index.pool._free = list(state["pool_free"])
+        index.metrics._series = {
+            name: list(values) for name, values in state["metrics"].items()
+        }
+        experiment.inserted_keys = list(state["inserted_keys"])
+        experiment.deleted_keys = list(state["deleted_keys"])
+        index.query_records = [
+            QueryRecord(lb, ub, start_time, end_time, list(result_keys))
+            for lb, ub, start_time, end_time, result_keys in state["query_records"]
+        ]
+
+    # Inert stragglers first (their cold-world sequence numbers predate the
+    # loop timers' current ones): bare timers whose firing costs exactly what
+    # the captured straggler's would -- one pop plus `count` no-op callbacks.
+    for fire_time, count in state.get("strays", ()):
+        event = sim.timeout_at(fire_time)
+        for _ in range(count):
+            event._add_callback(inert_callback)
+
+    # Arm the deferred loops in the captured (next_fire, arm_seq) order.
+    registry = {}
+    for endpoint, record in deferred:
+        key = (endpoint.address, record.name)
+        if key in registry:
+            raise SnapshotRestoreError(f"duplicate periodic loop {key!r}")
+        registry[key] = (endpoint, record)
+    captured = state["loops"]
+    captured_keys = {(address, name) for address, name, _fire, _seq in captured}
+    if captured_keys != set(registry):
+        missing = sorted(captured_keys - set(registry))
+        extra = sorted(set(registry) - captured_keys)
+        raise SnapshotRestoreError(
+            f"loop inventory mismatch: snapshot-only {missing!r}, world-only {extra!r}"
+        )
+    for address, name, next_fire, _arm_seq in sorted(captured, key=lambda e: (e[2], e[3])):
+        endpoint, record = registry[(address, name)]
+        endpoint.arm_loop(record, resume_at=next_fire)
+
+    # Drain the N loop-start ready entries, then pin the event counter.
+    sim.run(until=captured_now)
+    sim.events_processed = state["sim"]["events_processed"]
+    return experiment
+
+
+def harness_results(state: dict) -> Tuple[list, list, List[str]]:
+    """The pre-boundary driver results, reconstituted for a warm run's report.
+
+    Outcomes come back with their scalar fields only (no per-key lists, no
+    :class:`QueryRecord` cross-reference) -- enough for every aggregate the
+    scenario report computes.
+    """
+    from repro.harness.experiment import QueryOutcome
+    from repro.harness.phases import PhaseResult
+
+    harness = state["harness"]
+    results = [PhaseResult(**data) for data in harness["phase_results"]]
+    outcomes = [
+        QueryOutcome(
+            lb=lb, ub=ub, hops=hops, elapsed=elapsed,
+            scan_elapsed=scan_elapsed, complete=complete,
+        )
+        for lb, ub, hops, elapsed, scan_elapsed, complete in harness["outcomes"]
+    ]
+    return results, outcomes, list(harness["victims"])
+
+
+__all__ = ["SnapshotRestoreError", "harness_results", "restore_world"]

@@ -324,3 +324,30 @@ def test_run_cell_transport_override():
             os.environ["REPRO_ENGINE"] = forced
     assert cell["transport"] == "sim"
     assert cell["engine"] == "heap"
+
+
+def test_run_cell_engine_override(monkeypatch):
+    from repro.harness.runner import run_cell
+
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    cell = run_cell(("smoke", 0, "wheel"))
+    assert cell["engine"] == "wheel"
+    assert cell["transport"] == "sim"
+    # The override reaches the actual event engine, not just the label: the
+    # wheel run must still agree with the heap run on the end state (the
+    # engines share one determinism contract).
+    heap_cell = run_cell(("smoke", 0, "heap"))
+    assert cell["ring_members"] == heap_cell["ring_members"]
+    assert cell["items_stored"] == heap_cell["items_stored"]
+
+
+def test_run_cell_short_and_long_tuples_agree(monkeypatch):
+    """The 2-tuple and the full 6-tuple (all-default slots) run identically."""
+    from repro.harness.runner import run_cell
+
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    short = run_cell(("smoke", 0))
+    long = run_cell(("smoke", 0, None, None, None, None))
+    assert long["events_processed"] == short["events_processed"]
+    assert long["rpc_per_method"] == short["rpc_per_method"]
+    assert long["warm_start"] is False  # no snapshot dir -> never resumes
