@@ -186,6 +186,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"reachable={cell.get('items_reachable', '?')}"
                 f"{' (warm start)' if cell.get('warm_start') else ''}"
             )
+            latency = cell.get("query_latency") or {}
+            if latency:
+                serve = (
+                    f" serve={cell['serve_correct']}/{cell['serve_queries']} correct "
+                    f"load_var={cell['serve_load_variance']:.2f}"
+                    if cell.get("serve_queries")
+                    else ""
+                )
+                print(
+                    f"  queries: n={latency['count']:.0f} "
+                    f"p50={latency['p50'] * 1000:.1f}ms p99={latency['p99'] * 1000:.1f}ms "
+                    f"mean={latency['mean'] * 1000:.1f}ms{serve}"
+                )
             for phase in cell.get("phases", ()):
                 timed_out = " START-TIMEOUT" if phase["start_timed_out"] else ""
                 print(
@@ -209,10 +222,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         for scenario, stats in aggregates.items():
             wall = stats["wall_clock_s"]
+            latency = ""
+            if "query_latency" in stats:
+                block = stats["query_latency"]
+                latency = (
+                    f" q_p50={block['p50']['mean'] * 1000:.1f}ms"
+                    f" q_p99={block['p99']['mean'] * 1000:.1f}ms"
+                )
+            if "serve_load_variance" in stats:
+                latency += f" load_var={stats['serve_load_variance']['mean']:.2f}"
             print(
                 f"{scenario} x{len(stats['seeds'])} seeds: "
                 f"wall mean={wall['mean']:.2f}s p95={wall['p95']:.2f}s "
-                f"rpcs mean={stats['rpc_calls']['mean']:.0f}"
+                f"rpcs mean={stats['rpc_calls']['mean']:.0f}{latency}"
             )
     return 0
 

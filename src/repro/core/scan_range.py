@@ -25,12 +25,19 @@ inconsistency) can and do occur.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import warnings
+from typing import Dict, List, Optional, Tuple
 
 from repro.datastore.items import Item, items_from_wire, items_to_wire
 from repro.datastore.ranges import CircularRange, segments_cover_interval
 from repro.index.config import IndexConfig
+from repro.ring.entries import JOINED
 from repro.transport import RpcError
+
+_DEPRECATION = (
+    "RangeQueryEngine.{name}() is deprecated; issue queries through "
+    "repro.serve.QueryClient (e.g. index.query_client(routing=...)) instead"
+)
 
 
 class RangeQueryEngine:
@@ -80,20 +87,58 @@ class RangeQueryEngine:
         return f"{self.address}#{self._next_query}"
 
     # ------------------------------------------------------------------ public API
-    def range_query(self, lb: float, ub: float, timeout: float = 60.0):
-        """Execute the range query ``(lb, ub]`` with the configured strategy.
+    def query(self, lb: float, ub: float, strategy: Optional[str] = None, timeout: float = 60.0):
+        """Execute the range query ``(lb, ub]`` against the primary owners.
 
-        Generator returning a result dict with the matching items, the query
-        window, the number of ring hops and whether coverage completed.
+        ``strategy`` selects the mechanism: ``"scan"`` (the scanRange
+        primitive), ``"naive"`` (the Section 6.2 baseline), or ``None`` to
+        follow the deployment's ``use_scan_range`` flag.  Generator returning
+        a result dict with the matching items, the query window, the number
+        of ring hops and whether coverage completed.
+
+        This is the serve layer's primary-routing backend; clients go through
+        :class:`repro.serve.QueryClient` rather than calling it directly.
         """
-        if self.config.use_scan_range:
-            result = yield from self.range_query_scan(lb, ub, timeout=timeout)
+        if strategy is None:
+            strategy = "scan" if self.config.use_scan_range else "naive"
+        if strategy == "scan":
+            result = yield from self._query_scan(lb, ub, timeout=timeout)
+        elif strategy == "naive":
+            result = yield from self._query_naive(lb, ub, timeout=timeout)
         else:
-            result = yield from self.range_query_naive(lb, ub, timeout=timeout)
+            raise ValueError(f"unknown query strategy {strategy!r}")
+        return result
+
+    # ------------------------------------------------------------------ deprecated API
+    # The three historical entry points survive as shims over :meth:`query`
+    # so external callers keep working for one release; every in-tree caller
+    # has been migrated to ``QueryClient``.
+    def range_query(self, lb: float, ub: float, timeout: float = 60.0):
+        """Deprecated: use :class:`repro.serve.QueryClient` instead."""
+        warnings.warn(
+            _DEPRECATION.format(name="range_query"), DeprecationWarning, stacklevel=2
+        )
+        result = yield from self.query(lb, ub, timeout=timeout)
+        return result
+
+    def range_query_scan(self, lb: float, ub: float, timeout: float = 60.0):
+        """Deprecated: use :class:`repro.serve.QueryClient` instead."""
+        warnings.warn(
+            _DEPRECATION.format(name="range_query_scan"), DeprecationWarning, stacklevel=2
+        )
+        result = yield from self.query(lb, ub, strategy="scan", timeout=timeout)
+        return result
+
+    def range_query_naive(self, lb: float, ub: float, timeout: float = 60.0):
+        """Deprecated: use :class:`repro.serve.QueryClient` instead."""
+        warnings.warn(
+            _DEPRECATION.format(name="range_query_naive"), DeprecationWarning, stacklevel=2
+        )
+        result = yield from self.query(lb, ub, strategy="naive", timeout=timeout)
         return result
 
     # ------------------------------------------------------------------ scanRange path
-    def range_query_scan(self, lb: float, ub: float, timeout: float = 60.0):
+    def _query_scan(self, lb: float, ub: float, timeout: float = 60.0):
         """Range query via the scanRange primitive (Algorithms 3-7)."""
         query_id = self._new_query_id()
         started = self.node.sim.now
@@ -207,7 +252,7 @@ class RangeQueryEngine:
             if self.store.active and self.store.range is not None:
                 segments = self.store.range.intersect_interval(watermark, ub)
             new_watermark = watermark
-            covered = []
+            covered: List[Tuple[float, float]] = []
             collected: List[Item] = []
             for lo, hi in sorted(segments):
                 if lo > new_watermark + 1e-12:
@@ -215,7 +260,12 @@ class RangeQueryEngine:
                     # the ring; they will cover it when the scan reaches them.
                     continue
                 collected.extend(self.store.local_items_in(lo, hi))
-                covered.append((lo, hi))
+                # Batch contiguous sub-ranges into one covered window per hop
+                # (one delivery segment instead of one per store fragment).
+                if covered and lo <= covered[-1][1] + 1e-12:
+                    covered[-1] = (covered[-1][0], max(covered[-1][1], hi))
+                else:
+                    covered.append((lo, hi))
                 self._record_op(
                     "scan_visit",
                     scan_id=query_id,
@@ -248,7 +298,7 @@ class RangeQueryEngine:
             # has locked its own range before we release ours.
             forwarded = False
             for _retry in range(6):
-                successor = self.ring.first_live_successor()
+                successor = self._forward_target(new_watermark)
                 if successor is None:
                     break
                 try:
@@ -278,6 +328,37 @@ class RangeQueryEngine:
         finally:
             self.store.range_lock.release_read()
 
+    def _forward_target(self, watermark: float) -> Optional[str]:
+        """First successor whose range can still contribute past ``watermark``.
+
+        Window pruning on the forward path: walking the successor list in
+        ring order, each JOINED entry's arc runs from the previous entry's
+        value up to its own.  A non-wrapping arc ending at or below the
+        watermark covers only already-scanned keys, so the scan skips the
+        entry instead of paying a hop (or, for a stale entry of a
+        merged-away peer, a 2 s call timeout) to learn nothing.  Pruning is
+        conservative: the walk stops at the first non-JOINED entry, where
+        arc attribution is uncertain, and falls back to the plain first live
+        successor.
+        """
+        pruned = 0
+        previous = self.ring.value
+        for entry in self.ring.successor_entries():
+            if entry.address == self.address:
+                continue
+            if entry.state != JOINED:
+                break
+            if previous < entry.value <= watermark + 1e-12:
+                pruned += 1
+                previous = entry.value
+                continue
+            if pruned:
+                self._record_metric("scan_window_pruned", pruned)
+            return entry.address
+        if pruned:
+            self._record_metric("scan_window_pruned", pruned)
+        return self.ring.first_live_successor()
+
     def _handle_query_deliver(self, payload, request):
         """RPC (Algorithm 7's delivery): collect one peer's contribution."""
         state = self._pending.get(payload["query_id"])
@@ -301,7 +382,7 @@ class RangeQueryEngine:
             "range": self.store.range.as_tuple() if self.store.range is not None else None,
         }
 
-    def range_query_naive(self, lb: float, ub: float, timeout: float = 60.0):
+    def _query_naive(self, lb: float, ub: float, timeout: float = 60.0):
         """The naive application-level scan (Section 6.2 baseline).
 
         Two unsynchronised messages per peer (items, then successor) and no

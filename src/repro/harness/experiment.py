@@ -18,9 +18,10 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.correctness import QueryRecord
-from repro.harness.phases import PhaseResult, PhaseSpec, WorkloadSpec
+from repro.harness.phases import PhaseResult, PhaseSpec, ServeSpec, WorkloadSpec
 from repro.index.config import IndexConfig
 from repro.index.pring import PRingIndex
+from repro.serve.workload import OpenLoopQuery, open_loop_queries
 from repro.workloads.churn import (
     FAIL,
     JOIN,
@@ -76,6 +77,9 @@ class QueryOutcome:
     keys: List[float] = field(default_factory=list)
     record: Optional[QueryRecord] = None
     strategy: str = "scan"
+    # Serve-phase queries only: whether the result set matched the reachable
+    # keys snapshotted at serve start (None for closed-loop queries).
+    correct: Optional[bool] = None
 
 
 class ClusterExperiment:
@@ -253,6 +257,9 @@ class ClusterExperiment:
                 if mix.spacing > 0:
                     self.settle(mix.spacing)
 
+        if phase.serve is not None:
+            outcomes.extend(self._run_serve(phase))
+
         if phase.settle > 0:
             index.run(phase.settle)
 
@@ -412,6 +419,81 @@ class ClusterExperiment:
             # routing latency (the facade records the outcome in the history).
             self.index.sim.process(self.index.insert_item(key, payload))
 
+    # ------------------------------------------------------------------ serve (open loop)
+    def _run_serve(self, phase: PhaseSpec) -> List["QueryOutcome"]:
+        """Play the phase's open-loop serve traffic and collect its outcomes.
+
+        The whole arrival schedule is drawn up front from the ``serve`` rng
+        stream (arrivals are independent of service times by definition of
+        open loop), the reachable key set of every hotspot window is
+        snapshotted at serve start as the correctness reference, and the
+        phase then runs for the arrival window plus the drain grace.  Queries
+        still in flight when the drain ends are simply not recorded -- an
+        open-loop driver never waits for stragglers.
+        """
+        spec = phase.serve
+        index = self.index
+        schedule = open_loop_queries(
+            spec.arrival_rate,
+            spec.duration,
+            self.config.key_space,
+            index.rngs.stream("serve"),
+            hotspots=spec.hotspots,
+            alpha=spec.alpha,
+            selectivity=spec.selectivity,
+        )
+        expected: Dict[Tuple[float, float], frozenset] = {}
+        for query in schedule:
+            window = (query.lb, query.ub)
+            if window not in expected:
+                expected[window] = frozenset(self._reachable_keys(*window))
+        outcomes: List[QueryOutcome] = []
+        index.sim.process(
+            self._serve_arrivals(spec, schedule, expected, outcomes),
+            name=f"driver:{phase.name}-serve",
+        )
+        index.run(spec.duration + spec.drain)
+        return outcomes
+
+    def _reachable_keys(self, lb: float, ub: float) -> set:
+        """Keys in ``(lb, ub]`` a full primary scan would return right now."""
+        keys = set()
+        for peer in self.index.ring_members():
+            for item in peer.store.local_items_in(lb, ub):
+                if peer.store.owns_key(item.skv):
+                    keys.add(item.skv)
+        return keys
+
+    def _serve_arrivals(self, spec: ServeSpec, schedule, expected, outcomes):
+        sim = self.index.sim
+        start = sim.now
+        for query in schedule:
+            delay = start + query.at - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            # Fire and forget: the next arrival never waits for this query.
+            sim.process(self._serve_one(spec, query, expected, outcomes))
+
+    def _serve_one(self, spec: ServeSpec, query: OpenLoopQuery, expected, outcomes):
+        client = self.index.query_client(
+            routing=spec.routing, consistency=spec.consistency
+        )
+        result = yield from client.query(query.lb, query.ub, timeout=spec.timeout)
+        keys = result["keys"]
+        outcomes.append(
+            QueryOutcome(
+                lb=query.lb,
+                ub=query.ub,
+                hops=result["hops"],
+                elapsed=result["end_time"] - result["start_time"],
+                scan_elapsed=result["scan_elapsed"],
+                complete=result["complete"],
+                keys=keys,
+                strategy=result["strategy"],
+                correct=set(keys) == expected[(query.lb, query.ub)],
+            )
+        )
+
     # ------------------------------------------------------------------ phases
     def settle(self, duration: float) -> None:
         """Let the system run with no external activity."""
@@ -449,9 +531,18 @@ class ClusterExperiment:
                 self.index.run(1.0 / rate)
 
     # ------------------------------------------------------------------ queries
-    def run_query(self, lb: float, ub: float, via: Optional[str] = None) -> QueryOutcome:
+    def run_query(
+        self,
+        lb: float,
+        ub: float,
+        via: Optional[str] = None,
+        routing: str = "primary",
+        consistency: str = "strong",
+    ) -> QueryOutcome:
         """Execute one range query and wrap its outcome."""
-        result = self.index.range_query_now(lb, ub, via=via)
+        result = self.index.range_query_now(
+            lb, ub, via=via, routing=routing, consistency=consistency
+        )
         record = self.index.query_records[-1] if self.index.query_records else None
         return QueryOutcome(
             lb=lb,

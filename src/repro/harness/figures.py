@@ -274,8 +274,8 @@ def figure_21(
                 continue
             lb, ub = values[start], values[end]
             via = members[rng.randrange(len(members))]
-            scan = index.run_process(via.queries.range_query_scan(lb, ub))
-            naive = index.run_process(via.queries.range_query_naive(lb, ub))
+            scan = index.run_process(via.queries.query(lb, ub, strategy="scan"))
+            naive = index.run_process(via.queries.query(lb, ub, strategy="naive"))
             bucket = per_hops.setdefault(scan["hops"], {"scan": [], "naive": []})
             bucket["scan"].append(scan["scan_elapsed"])
             bucket["naive"].append(naive["scan_elapsed"])

@@ -71,11 +71,68 @@ class ChurnSpec:
 
 @dataclass(frozen=True)
 class QueryMixSpec:
-    """Range queries issued after the deployment settles."""
+    """Range queries issued after the deployment settles (closed loop)."""
 
     count: int = 0
     selectivity: float = 0.02
     spacing: float = 0.5  # simulated seconds between queries
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """An open-loop serve phase: arrival-rate traffic at zipf hotspots.
+
+    Declares serving the way :class:`LatencySpec`/:class:`MaintenanceSpec`
+    declare their subsystems: queries arrive with exponential interarrivals
+    at ``arrival_rate`` per simulated second for ``duration`` seconds, each
+    aimed at one of ``hotspots`` fixed windows drawn zipf-skewed by rank
+    (exponent ``alpha``), and are issued through a serve-layer
+    :class:`~repro.serve.client.QueryClient` under ``routing`` /
+    ``consistency``.  Because arrivals never wait for completions, the
+    measured p50/p99 latency reflects the system, not the workload --
+    unlike the closed-loop :class:`QueryMixSpec`.
+
+    ``drain`` extends the phase past the last arrival so in-flight queries
+    finish before the phase result is taken.
+    """
+
+    arrival_rate: float = 20.0  # queries per simulated second
+    duration: float = 10.0  # arrival window (simulated seconds)
+    routing: str = "replica_lb"  # primary | replica_lb | cached
+    consistency: str = "strong"  # strong | eventual
+    selectivity: float = 0.02  # window width as a fraction of the key space
+    hotspots: int = 8  # distinct query windows
+    alpha: float = 1.1  # zipf exponent over hotspot ranks
+    timeout: float = 30.0  # per-query timeout (simulated seconds)
+    drain: float = 5.0  # post-arrival grace for in-flight queries
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for meaningless settings."""
+        from repro.serve.client import CONSISTENCY_LEVELS, ROUTING_POLICIES
+
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.routing not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing {self.routing!r}; known: {', '.join(ROUTING_POLICIES)}"
+            )
+        if self.consistency not in CONSISTENCY_LEVELS:
+            raise ValueError(
+                f"unknown consistency {self.consistency!r}; "
+                f"known: {', '.join(CONSISTENCY_LEVELS)}"
+            )
+        if not 0.0 < self.selectivity <= 1.0:
+            raise ValueError("selectivity must be in (0, 1]")
+        if self.hotspots < 1:
+            raise ValueError("hotspots must be >= 1")
+        if self.alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.drain < 0:
+            raise ValueError("drain must be >= 0")
 
 
 # --------------------------------------------------------------------------- phases
@@ -119,6 +176,7 @@ class PhaseSpec:
     workload: Optional[WorkloadSpec] = None
     workload_start: float = 1.0  # first insert, relative to phase start
     queries: Optional[QueryMixSpec] = None
+    serve: Optional[ServeSpec] = None  # open-loop serve traffic (see ServeSpec)
     duration: Optional[float] = None  # active time; None = derived from schedules
     settle: float = 0.0  # quiet tail after the activity
     # Snapshot/warm-start boundary: the world state *after* this phase is the
@@ -149,6 +207,8 @@ class PhaseSpec:
             raise ValueError("duration must be >= 0")
         if self.settle < 0:
             raise ValueError("settle must be >= 0")
+        if self.serve is not None:
+            self.serve.validate()
 
     @property
     def start_condition(self) -> str:

@@ -224,7 +224,22 @@ _AGGREGATED_FIELDS = (
     "messages_sent",
     "query_mean_elapsed_s",
     "query_mean_hops",
+    "serve_load_variance",
 )
+
+# Sub-fields of the nested ``query_latency`` summary block aggregated across
+# seeds (each gets its own mean/p95/min/max, like the flat fields above).
+_LATENCY_SUBFIELDS = ("count", "mean", "p50", "p95", "p99")
+
+
+def _latency_aggregate(group: List[Dict[str, Any]]) -> Dict[str, Dict[str, float]]:
+    """Seed aggregates of the ``query_latency`` block (empty if any cell lacks it)."""
+    blocks = [cell.get("query_latency") or {} for cell in group]
+    return {
+        subfield: _stats([block[subfield] for block in blocks])
+        for subfield in _LATENCY_SUBFIELDS
+        if all(subfield in block for block in blocks)
+    }
 
 
 def _stats(values: Sequence[float]) -> Dict[str, float]:
@@ -265,8 +280,9 @@ def aggregate_cells(cells: List[Dict[str, Any]]) -> Dict[str, Any]:
     by_scenario: Dict[str, List[Dict[str, Any]]] = {}
     for cell in cells:
         by_scenario.setdefault(cell["scenario"], []).append(cell)
-    return {
-        scenario: {
+    aggregates = {}
+    for scenario, group in by_scenario.items():
+        entry: Dict[str, Any] = {
             "seeds": [cell["seed"] for cell in group],
             **{
                 field: _stats([cell[field] for cell in group])
@@ -275,8 +291,11 @@ def aggregate_cells(cells: List[Dict[str, Any]]) -> Dict[str, Any]:
             },
             "rpc_per_method_mean": _per_method_means(group),
         }
-        for scenario, group in by_scenario.items()
-    }
+        latency = _latency_aggregate(group)
+        if latency:
+            entry["query_latency"] = latency
+        aggregates[scenario] = entry
+    return aggregates
 
 
 # --------------------------------------------------------------------------- figures

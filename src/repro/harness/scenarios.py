@@ -32,11 +32,13 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.harness.experiment import ClusterExperiment, ExperimentSettings
+from repro.harness.metrics import nearest_rank
 from repro.harness.phases import (
     ChurnSpec,
     PhaseResult,
     PhaseSpec,
     QueryMixSpec,
+    ServeSpec,
     WorkloadSpec,
     validate_phases,
 )
@@ -73,6 +75,7 @@ __all__ = [
     "ScenarioResult",
     "ScenarioSpec",
     "ScenarioSuite",
+    "ServeSpec",
     "TransportSpec",
     "WorkloadSpec",
     "build_experiment",
@@ -200,6 +203,9 @@ class ScenarioSpec:
     workload: WorkloadSpec = WorkloadSpec()
     churn: ChurnSpec = ChurnSpec()
     queries: QueryMixSpec = QueryMixSpec()
+    # Open-loop serve traffic appended as a final phase (see ServeSpec); the
+    # phased shape binds a ServeSpec to any PhaseSpec directly instead.
+    serve: Optional[ServeSpec] = None
     latency: LatencySpec = LatencySpec()
     maintenance: MaintenanceSpec = MaintenanceSpec()
     phases: Tuple[PhaseSpec, ...] = ()  # explicit lifecycle; () = legacy flat shape
@@ -284,7 +290,9 @@ class ScenarioSpec:
            window;
         3. ``outage`` (if correlated failures are set): the simultaneous
            shot, then ``settle_time`` of quiet;
-        4. ``queries`` (if a query mix is set): the query loop.
+        4. ``queries`` (if a query mix is set): the query loop;
+        5. ``serve`` (if a :class:`ServeSpec` is set): the open-loop serve
+           window plus its drain.
         """
         if self.phases:
             validate_phases(self.phases)
@@ -324,6 +332,8 @@ class ScenarioSpec:
             )
         if self.queries.count > 0:
             phases.append(PhaseSpec(name="queries", queries=self.queries))
+        if self.serve is not None:
+            phases.append(PhaseSpec(name="serve", serve=self.serve))
         return tuple(phases)
 
     def total_items(self) -> int:
@@ -368,8 +378,20 @@ class ScenarioResult:
     items_stranded: int = 0
     queries_run: int = 0
     queries_complete: int = 0
+    # Query latency summary over every executed query (count/mean/p50/p95/p99,
+    # seconds); empty when the cell ran no queries.  This is the first-class
+    # latency block -- the two mean fields below are kept as derived aliases
+    # of it for older BENCH tooling.
+    query_latency: Dict[str, float] = field(default_factory=dict)
     query_mean_elapsed_s: float = 0.0
     query_mean_hops: float = 0.0
+    # Serve-phase observables (zero/absent when the cell had no serve phase):
+    # open-loop queries recorded, how many returned exactly the reachable key
+    # set of their window, and the population variance of per-peer read load
+    # over the final ring membership (the replica_lb balancing observable).
+    serve_queries: int = 0
+    serve_correct: int = 0
+    serve_load_variance: float = 0.0
     correlated_failures_injected: int = 0
     metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
     # Site-aware network diagnostics (populated only under a lan_wan model).
@@ -397,6 +419,10 @@ _REPORTED_METRICS = (
     "join_redirect",
     "join_redirect_cached",
     "ring_ping_fresh_skip",
+    "serve_read_primary",
+    "serve_read_replica",
+    "serve_cache_invalidate",
+    "scan_window_pruned",
     INTRA_SITE_LATENCY_METRIC,
     CROSS_SITE_LATENCY_METRIC,
 )
@@ -590,6 +616,17 @@ def _finalize_result(
     index = experiment.index
     wall = time.perf_counter() - started
     audit = index.reachability()
+    elapsed = sorted(outcome.elapsed for outcome in outcomes)
+    query_latency: Dict[str, float] = {}
+    if elapsed:
+        query_latency = {
+            "count": float(len(elapsed)),
+            "mean": sum(elapsed) / len(elapsed),
+            "p50": nearest_rank(elapsed, 0.50),
+            "p95": nearest_rank(elapsed, 0.95),
+            "p99": nearest_rank(elapsed, 0.99),
+        }
+    serve_outcomes = [outcome for outcome in outcomes if outcome.correct is not None]
     metrics = {}
     for name in _REPORTED_METRICS:
         summary = index.metrics.summary(name)
@@ -623,11 +660,15 @@ def _finalize_result(
         items_stranded=audit.items_stranded,
         queries_run=len(outcomes),
         queries_complete=sum(1 for outcome in outcomes if outcome.complete),
-        query_mean_elapsed_s=(
-            sum(outcome.elapsed for outcome in outcomes) / len(outcomes) if outcomes else 0.0
-        ),
+        query_latency=query_latency,
+        query_mean_elapsed_s=query_latency.get("mean", 0.0),
         query_mean_hops=(
             sum(outcome.hops for outcome in outcomes) / len(outcomes) if outcomes else 0.0
+        ),
+        serve_queries=len(serve_outcomes),
+        serve_correct=sum(1 for outcome in serve_outcomes if outcome.correct),
+        serve_load_variance=index.serve_tracker.read_load_variance(
+            [peer.address for peer in index.ring_members()]
         ),
         correlated_failures_injected=len(correlated),
         metrics=metrics,
@@ -1087,5 +1128,73 @@ register_suite(
         scenarios=("localhost_100_sim", "localhost_100"),
         description="the 100-peer sim/asyncio twin pair: the sim-fidelity referee (real wall-clock run)",
         bench_name="localhost",
+    )
+)
+
+# ---- serve cells ------------------------------------------------------------
+# Open-loop zipf serving on a settled deployment: the build and quiescence
+# phases of the scale cells, then a serve phase with Poisson arrivals over 8
+# zipf-ranked hotspot windows and *no* churn (so every query has one correct
+# answer and routing policies are comparable at equal correctness).  Each size
+# is a trio differing only in the routing policy -- ``replica_lb`` (the
+# default cell) vs ``primary`` vs ``cached`` -- which makes the suite the
+# read-routing ablation: same arrivals, same hotspots, same deployment,
+# different read paths.  The observables are the ``query_latency`` block
+# (open-loop p50/p99) and ``serve_load_variance`` (per-peer read-load
+# spread; replica_lb's whole point is shrinking it on hot windows).
+def _serve_spec(name: str, peers: int, routing: str, description: str) -> ScenarioSpec:
+    base = _scale_spec(name, peers, description)
+    build, settle, _stress = base.phases
+    return base.with_(
+        phases=(
+            build,
+            settle,
+            PhaseSpec(
+                name="serve",
+                description=f"open-loop zipf serve window, routing={routing}",
+                serve=ServeSpec(
+                    arrival_rate=20.0,
+                    duration=10.0,
+                    routing=routing,
+                    consistency="strong",
+                    # Narrow windows: each hotspot lands on one-or-two owners,
+                    # the regime where primary routing melts a single peer
+                    # while its replicas idle (wide windows already spread
+                    # over many owners and dilute the ablation).  Scaled with
+                    # the deployment so the owner count per window stays put
+                    # as per-peer range shares shrink.
+                    selectivity=1.5 / peers,
+                ),
+                settle=2.0,
+            ),
+        )
+    )
+
+
+def _serve_trio(peers: int) -> None:
+    for routing, suffix in (("replica_lb", ""), ("primary", "_primary"), ("cached", "_cached")):
+        register(
+            _serve_spec(
+                f"serve_{peers}_zipf{suffix}",
+                peers,
+                routing,
+                f"{peers}-peer settled ring serving open-loop zipf reads ({routing} routing)",
+            )
+        )
+
+
+_serve_trio(300)
+_serve_trio(1000)
+
+register_suite(
+    ScenarioSuite(
+        name="serve_sweep",
+        scenarios=(
+            "serve_1000_zipf",
+            "serve_1000_zipf_primary",
+            "serve_1000_zipf_cached",
+        ),
+        description="the 1000-peer read-routing ablation: replica_lb vs primary vs cached at equal correctness",
+        bench_name="serve",
     )
 )

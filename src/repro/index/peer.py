@@ -9,7 +9,9 @@ full indexing framework stack of Section 2.2:
 * a Data Store with the storage balancer (split / merge / redistribute);
 * a CFS-style Replication Manager with the extra-hop protocol;
 * a Content Router;
-* the range-query engine (scanRange and the naive application-level scan).
+* the range-query engine (scanRange and the naive application-level scan);
+* the serve handlers (``serve_meta`` / ``serve_read``), the peer side of the
+  serve layer's :class:`~repro.serve.client.QueryClient`.
 
 Peers are created as *free peers* (not in the ring, no range); they are pulled
 into the ring either by bootstrapping (the first peer) or by Data Store splits.
@@ -27,6 +29,7 @@ from repro.index.config import IndexConfig
 from repro.replication.cfs import ReplicationManager
 from repro.ring.chord import ChordRing
 from repro.router import make_router
+from repro.serve.handlers import ServeHandler
 from repro.transport import Endpoint
 
 
@@ -72,6 +75,9 @@ class IndexPeer(Endpoint):
         )
         self.queries = RangeQueryEngine(
             self, self.ring, self.store, self.router, config, metrics=metrics, history=history
+        )
+        self.serve = ServeHandler(
+            self, self.ring, self.store, self.replication, config, metrics=metrics
         )
         # Keep the balancer informed of deletions racing with in-flight splits.
         self._original_remove_local = self.store.remove_local

@@ -4,7 +4,9 @@
 history recorder, and exposes the P2P Index API of Figure 1 at cluster level:
 
 * ``insert_item`` / ``delete_item`` -- routed to the responsible peer;
-* ``range_query`` -- executed with scanRange or the naive scan per config;
+* ``range_query`` -- issued through a serve-layer
+  :class:`~repro.serve.client.QueryClient` under a ``routing=`` policy
+  (``primary`` | ``replica_lb`` | ``cached``);
 * ``add_peer`` (arrives as a free peer), ``fail_peer``, and time control.
 
 Everything inside the cluster still happens through simulated messages between
@@ -24,6 +26,8 @@ from repro.harness.metrics import Metrics
 from repro.index.config import IndexConfig, default_config
 from repro.index.membership import MembershipIndex
 from repro.index.peer import IndexPeer
+from repro.serve.client import QueryClient
+from repro.serve.tracker import InFlightTracker
 from repro.sim.engine import SimulationError
 from repro.transport import RpcError, make_transport
 
@@ -48,12 +52,21 @@ class PRingIndex:
         self.rngs = self.transport.rngs
         self.network = self.transport.network
         self.history = HistoryRecorder(self.sim)
+        # Per-peer in-flight RPC accounting, fed by the transport's observer
+        # hooks; the serve layer's replica_lb routing balances on it and the
+        # harness reports its read-load variance.  Always on: the hooks cost
+        # two dict operations per RPC.
+        self.serve_tracker = InFlightTracker()
+        self.network.observer = self.serve_tracker
         self.pool = FreePeerPool(self.sim, self.network, address="pool")
         self.peers: Dict[str, IndexPeer] = {}
         # Incrementally maintained live/free/ring-member sets: updated by ring
         # state transitions and failure hooks, never by rescanning ``peers``.
         self.membership = MembershipIndex()
         self.query_records: List[QueryRecord] = []
+        # QueryClients by (entry address, routing, consistency): the cached
+        # policy's result cache lives on the client, so reuse matters.
+        self._clients: Dict[tuple, QueryClient] = {}
         self._next_peer = 0
         self._bootstrapped = False
         # Optional background coordinator harvesting FREE peers (off unless
@@ -265,10 +278,44 @@ class PRingIndex:
         self.history.record("index_delete_done", peer=peer.address, skv=skv, removed=removed)
         return removed
 
-    def range_query(self, lb: float, ub: float, via: Optional[str] = None, timeout: float = 60.0):
-        """Generator: evaluate the range query ``(lb, ub]`` and record it for checking."""
+    def query_client(
+        self,
+        routing: str = "primary",
+        consistency: str = "strong",
+        via: Optional[str] = None,
+    ) -> QueryClient:
+        """The :class:`QueryClient` for an entry peer and routing policy.
+
+        Clients are cached per ``(entry peer, routing, consistency)`` so the
+        ``cached`` policy's result cache survives across queries issued
+        through the same entry point.
+        """
         peer = self._entry_peer(via)
-        result = yield from peer.queries.range_query(lb, ub, timeout=timeout)
+        key = (peer.address, routing, consistency)
+        client = self._clients.get(key)
+        if client is None or not client.peer.alive:
+            client = QueryClient(
+                peer,
+                routing=routing,
+                consistency=consistency,
+                tracker=self.serve_tracker,
+                metrics=self.metrics,
+            )
+            self._clients[key] = client
+        return client
+
+    def range_query(
+        self,
+        lb: float,
+        ub: float,
+        via: Optional[str] = None,
+        timeout: float = 60.0,
+        routing: str = "primary",
+        consistency: str = "strong",
+    ):
+        """Generator: evaluate ``(lb, ub]`` under ``routing`` and record it for checking."""
+        client = self.query_client(routing=routing, consistency=consistency, via=via)
+        result = yield from client.query(lb, ub, timeout=timeout)
         self.query_records.append(
             QueryRecord(
                 lb=lb,
@@ -289,6 +336,18 @@ class PRingIndex:
         """Delete an item and advance the simulation until it completes."""
         return self.run_process(self.delete_item(skv, via=via))
 
-    def range_query_now(self, lb: float, ub: float, via: Optional[str] = None, timeout: float = 60.0):
+    def range_query_now(
+        self,
+        lb: float,
+        ub: float,
+        via: Optional[str] = None,
+        timeout: float = 60.0,
+        routing: str = "primary",
+        consistency: str = "strong",
+    ):
         """Run a range query and advance the simulation until it completes."""
-        return self.run_process(self.range_query(lb, ub, via=via, timeout=timeout))
+        return self.run_process(
+            self.range_query(
+                lb, ub, via=via, timeout=timeout, routing=routing, consistency=consistency
+            )
+        )

@@ -55,6 +55,13 @@ class ReplicationManager(RingListener):
         # window (see :meth:`_refresh_once`).
         self._last_push: tuple = ()
         self._pushes_skipped = 0
+        # What each predecessor last pushed to us: owner address ->
+        # (owner's ItemStore.version at push time, receive time, pushed keys).
+        # The serve layer's replica reads consult this: a replica read is
+        # valid only while the owner's live version still equals the recorded
+        # push version -- any mutation since the push (insert, delete, split,
+        # shed) bumps the version and sends readers back to the primary.
+        self._push_state: dict = {}
 
         ring.add_listener(self)
         node.register_handler("rep_store_replicas", self._handle_store_replicas)
@@ -94,6 +101,7 @@ class ReplicationManager(RingListener):
         """Drop all replicas (a merged-away peer returning to the free pool)."""
         self.replicas.clear()
         self._freshness.clear()
+        self._push_state.clear()
 
     def _tombstoned(self, skv: float) -> bool:
         """Whether ``skv`` was recently deleted (blocks replication/revival).
@@ -135,7 +143,13 @@ class ReplicationManager(RingListener):
             if items:
                 targets = self.ring.joined_successors(self.config.replication_factor)
                 if self._should_push(targets):
-                    payload = {"items": items_to_wire(items), "owner": self.address}
+                    payload = {
+                        "items": items_to_wire(items),
+                        "owner": self.address,
+                        # The store version this push snapshots; receivers
+                        # record it so replica reads can detect staleness.
+                        "version": self.store.items.version,
+                    }
                     # Fire-and-forget fan-out: the pushes are independent and
                     # nobody reads the acknowledgements, so each costs one
                     # one-way message -- no reply event, no expiry timer, no
@@ -257,7 +271,9 @@ class ReplicationManager(RingListener):
         """RPC: store replicas on behalf of a predecessor."""
         stored = 0
         now = self.node.sim.now
+        pushed: List[float] = []
         for item in items_from_wire(payload["items"]):
+            pushed.append(item.skv)
             if self._tombstoned(item.skv):
                 continue  # deleted; do not let a stale copy come back
             self._freshness[item.skv] = now
@@ -265,6 +281,15 @@ class ReplicationManager(RingListener):
                 continue  # we already hold the primary copy
             if self.replicas.add(item):
                 stored += 1
+        # Remember the push as the owner's claimed snapshot.  Tombstoned keys
+        # stay in the recorded key set but were *not* stored, so a replica
+        # read that needs one finds it missing and falls back to the primary
+        # -- a tombstoned copy is never served.
+        self._push_state[payload["owner"]] = (
+            payload.get("version"),
+            now,
+            tuple(pushed),
+        )
         return {"stored": stored}
 
     def _handle_remove_replica(self, payload, request):

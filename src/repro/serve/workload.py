@@ -1,0 +1,102 @@
+"""Open-loop serve workload: Poisson arrivals over zipf-skewed hotspots.
+
+The closed-loop :class:`~repro.workloads.queries.QueryWorkload` issues the
+next query only after the previous one returns -- fine for correctness
+sweeps, useless for latency: a slow system *slows the workload down* and p99
+looks great.  Production traffic does not wait.  The open-loop generator here
+fixes the arrival process independently of service times: queries arrive with
+exponential interarrivals at ``arrival_rate`` per second, each aimed at one
+of a small set of hotspot windows chosen zipf-skewed by rank -- the classic
+shape of a popularity-driven read workload, and the one that melts a single
+primary owner while its replicas idle.
+
+Everything is deterministic given the rng stream: the hotspot centers, the
+zipf ranks and the interarrival gaps all come from the caller's named stream,
+so a scenario's serve phase replays identically across runs and processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class OpenLoopQuery:
+    """One scheduled arrival: issue ``(lb, ub]`` at simulation offset ``at``."""
+
+    at: float
+    lb: float
+    ub: float
+    hotspot: int
+
+
+def zipf_hotspot_windows(
+    hotspots: int, key_space: float, width: float, rng
+) -> List[Tuple[float, float]]:
+    """Draw ``hotspots`` fixed query windows of ``width`` over the key space.
+
+    Centers are uniform draws from the stream (drawn once per workload);
+    windows are clamped inside ``(0, key_space]`` so they remain valid
+    non-wrapping query intervals.
+    """
+    if hotspots < 1:
+        raise ValueError("hotspots must be >= 1")
+    if not 0 < width <= key_space:
+        raise ValueError("window width must be in (0, key_space]")
+    windows = []
+    for _ in range(hotspots):
+        lb = rng.uniform(0.0, key_space - width)
+        windows.append((lb, lb + width))
+    return windows
+
+
+def _zipf_cumulative(hotspots: int, alpha: float) -> List[float]:
+    """Cumulative zipf rank weights: rank ``i`` has weight ``1/(i+1)**alpha``."""
+    weights = [1.0 / (rank + 1) ** alpha for rank in range(hotspots)]
+    total = sum(weights)
+    cumulative: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    cumulative[-1] = 1.0  # guard against float drift at the top bin
+    return cumulative
+
+
+def open_loop_queries(
+    arrival_rate: float,
+    duration: float,
+    key_space: float,
+    rng,
+    hotspots: int = 8,
+    alpha: float = 1.1,
+    selectivity: float = 0.02,
+) -> List[OpenLoopQuery]:
+    """The full arrival schedule of one serve phase, in arrival order.
+
+    ``arrival_rate`` queries per second on average for ``duration`` seconds;
+    each query targets the hotspot window of a zipf-drawn rank.  Returns the
+    complete schedule up front (arrival times are independent of execution by
+    definition of open loop, so there is nothing to interleave).
+    """
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    width = key_space * selectivity
+    windows = zipf_hotspot_windows(hotspots, key_space, width, rng)
+    cumulative = _zipf_cumulative(hotspots, alpha)
+    schedule: List[OpenLoopQuery] = []
+    clock = 0.0
+    while True:
+        clock += rng.expovariate(arrival_rate)
+        if clock > duration:
+            break
+        draw = rng.random()
+        rank = 0
+        while cumulative[rank] < draw:
+            rank += 1
+        lb, ub = windows[rank]
+        schedule.append(OpenLoopQuery(at=clock, lb=lb, ub=ub, hotspot=rank))
+    return schedule

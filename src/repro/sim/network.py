@@ -307,6 +307,14 @@ class Network:
         self._transfer_free: List[list] = []  # 4-slot delivery/reply records
         self._reply_free: List[_ReplyHandle] = []
         self._request_free: List[RpcRequest] = []
+        # Optional RPC observer: anything with ``rpc_issued(source,
+        # destination, method)`` / ``rpc_completed(destination)``.  Every
+        # ``call`` issues exactly one completion -- on reply delivery or on
+        # expiry, whichever settles the caller's event -- so an observer can
+        # maintain per-destination in-flight counts (the serve layer's
+        # :class:`~repro.serve.tracker.InFlightTracker` does).  Casts are not
+        # observed: they have no completion signal.
+        self.observer = None
 
     # -- membership --------------------------------------------------------
     def register(self, node: "Node") -> None:
@@ -434,6 +442,8 @@ class Network:
         else:
             pending = [result, method, destination]
         timer = self._schedule_timer(timeout, self._expire, pending)
+        if self.observer is not None:
+            self.observer.rpc_issued(source, destination, method)
         self.stats.messages_sent += 1
         if self._dropped():
             self.stats.messages_dropped += 1
@@ -508,6 +518,8 @@ class Network:
         pending[2] = None
         self._expiry_free.append(pending)
         if not result.triggered:
+            if self.observer is not None:
+                self.observer.rpc_completed(destination)
             self.stats.rpc_timeouts += 1
             result.fail(RpcTimeout(f"{method} -> {destination} timed out"))
 
@@ -570,6 +582,8 @@ class Network:
         # The reply made it first: reclaim the timer and its expiry record.
         pending = self._cancel_timer(timer)
         if pending is not None:
+            if self.observer is not None:
+                self.observer.rpc_completed(pending[2])
             pending[0] = None
             pending[2] = None
             self._expiry_free.append(pending)

@@ -182,6 +182,10 @@ def encode_replication(replication) -> dict:
             else None
         ),
         "pushes_skipped": replication._pushes_skipped,
+        "push_state": [
+            [owner, version, stamp, list(keys)]
+            for owner, (version, stamp, keys) in replication._push_state.items()
+        ],
     }
 
 
@@ -192,6 +196,12 @@ def decode_replication(data: dict, replication) -> None:
     last_push = data["last_push"]
     replication._last_push = () if last_push is None else (last_push[0], tuple(last_push[1]))
     replication._pushes_skipped = data["pushes_skipped"]
+    # Absent in snapshots captured before the serve layer existed; an empty
+    # map just sends early replica reads back to the primary.
+    replication._push_state = {
+        owner: (version, stamp, tuple(keys))
+        for owner, version, stamp, keys in data.get("push_state", [])
+    }
 
 
 # ------------------------------------------------------------------ router / balancer / queries

@@ -291,6 +291,11 @@ class AsyncioNetwork:
         # request_id -> [result event, timer handle, method, destination]
         self._pending: Dict[int, list] = {}
         self._closed = False
+        # Optional RPC observer with the same contract as the simulated
+        # network's: ``rpc_issued`` on every call, ``rpc_completed`` exactly
+        # once per call (reply or expiry -- whichever pops the pending
+        # record).  Casts are not observed.
+        self.observer = None
 
     # -- membership --------------------------------------------------------
     def register(self, node) -> None:
@@ -372,6 +377,8 @@ class AsyncioNetwork:
         pending = [result, None, method, destination]
         pending[1] = self.clock.schedule_timer(timeout, self._expire, request_id)
         self._pending[request_id] = pending
+        if self.observer is not None:
+            self.observer.rpc_issued(source, destination, method)
         self._send(
             source,
             destination,
@@ -437,6 +444,8 @@ class AsyncioNetwork:
         if pending is None:
             return
         result, _timer, method, destination = pending
+        if self.observer is not None:
+            self.observer.rpc_completed(destination)
         if not result.triggered:
             self.stats.rpc_timeouts += 1
             result.fail(RpcTimeout(f"{method} -> {destination} timed out"))
@@ -494,8 +503,10 @@ class AsyncioNetwork:
         pending = self._pending.pop(message["id"], None)
         if pending is None:
             return  # the expiry timer already fired (late reply)
-        result, timer, _method, _destination = pending
+        result, timer, _method, destination = pending
         self.clock.cancel_timer(timer)
+        if self.observer is not None:
+            self.observer.rpc_completed(destination)
         rtt = self.clock.now - message.get("t", self.clock.now)
         if rtt >= 0:
             # Recorded as a one-way latency sample (rtt/2), matching what the

@@ -31,6 +31,7 @@ PROTOCOL_LAYERS = (
     "replication",
     "router",
     "core",
+    "serve",
     "index/peer.py",
 )
 

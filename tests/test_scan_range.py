@@ -70,7 +70,7 @@ def test_naive_query_on_stable_system_is_also_correct(cluster):
     index, keys = cluster
     peer = index.ring_members()[0]
     lb, ub = keys[5], keys[25]
-    result = index.run_process(peer.queries.range_query_naive(lb, ub))
+    result = index.run_process(peer.queries.query(lb, ub, strategy="naive"))
     assert sorted(result["keys"]) == expected_keys(keys, lb, ub)
 
 
@@ -78,9 +78,52 @@ def test_scan_and_naive_report_similar_hops(cluster):
     index, keys = cluster
     peer = index.ring_members()[0]
     lb, ub = keys[5], keys[35]
-    scan = index.run_process(peer.queries.range_query_scan(lb, ub))
-    naive = index.run_process(peer.queries.range_query_naive(lb, ub))
+    scan = index.run_process(peer.queries.query(lb, ub, strategy="scan"))
+    naive = index.run_process(peer.queries.query(lb, ub, strategy="naive"))
     assert abs(scan["hops"] - naive["hops"]) <= 2
+
+
+def test_query_rejects_unknown_strategy(cluster):
+    index, keys = cluster
+    peer = index.ring_members()[0]
+    with pytest.raises(ValueError):
+        index.run_process(peer.queries.query(keys[5], keys[25], strategy="psychic"))
+
+
+def test_deprecated_entry_points_warn_and_still_work(cluster):
+    """The three legacy entry points stay as shims: warn, then delegate."""
+    index, keys = cluster
+    peer = index.ring_members()[0]
+    lb, ub = keys[5], keys[25]
+    for name in ("range_query", "range_query_scan", "range_query_naive"):
+        with pytest.warns(DeprecationWarning, match=name):
+            result = index.run_process(getattr(peer.queries, name)(lb, ub))
+        assert sorted(result["keys"]) == expected_keys(keys, lb, ub)
+
+
+def test_forward_target_prunes_successors_inside_the_scanned_window(cluster):
+    """Window pruning: successors whose whole arc lies at or below the
+    watermark are skipped without paying a hop."""
+    from repro.ring.entries import JOINED
+
+    index, _keys = cluster
+    # The lowest-value peer sees an ascending successor list (no wrap), which
+    # makes arc attribution in the assertion straightforward.
+    peer = min(index.ring_members(), key=lambda p: p.ring.value)
+    entries = [
+        entry
+        for entry in peer.ring.successor_entries()
+        if entry.address != peer.address and entry.state == JOINED
+    ]
+    assert len(entries) >= 3, "settled 9-peer ring must expose several successors"
+    before = index.metrics.count("scan_window_pruned")
+    # Watermark exactly at the second successor's upper bound: both leading
+    # arcs are fully scanned, the third entry is the first useful hop.
+    target = peer.queries._forward_target(entries[1].value)
+    assert target == entries[2].address
+    assert index.metrics.count("scan_window_pruned") > before
+    # A watermark below every arc prunes nothing: first successor wins.
+    assert peer.queries._forward_target(peer.ring.value) == entries[0].address
 
 
 def test_scan_query_correct_during_concurrent_churn():
